@@ -1,0 +1,23 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artefacts
+(Figures 2-5) or an ablation called out in DESIGN.md.  The heavy work is a
+full trace-driven simulation, so each benchmark runs one round via
+``benchmark.pedantic`` and prints the regenerated table/figure so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's numbers in
+one go.  ``BENCH_TRACE_SCALE`` trims the synthetic traces so a full
+benchmark run stays in the minutes range.
+"""
+
+from __future__ import annotations
+
+#: fraction of the full synthetic trace replayed by the benchmarks.
+BENCH_TRACE_SCALE = 0.4
+
+#: seed shared by every benchmark run (results are deterministic).
+BENCH_SEED = 2
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Figure 2: cumulative latency distribution, Sprite trace 1a, four policies."""
+
+from benchmarks.conftest import BENCH_SEED, BENCH_TRACE_SCALE, run_once
+from repro.analysis.report import ascii_cdf_plot, format_latency_cdf_table, format_policy_comparison
+from repro.patsy.experiments import run_policy_comparison
+
+
+def test_fig2_trace_1a_latency_cdf(benchmark):
+    results = run_once(
+        benchmark,
+        run_policy_comparison,
+        "1a",
+        trace_scale=BENCH_TRACE_SCALE,
+        seed=BENCH_SEED,
+    )
+    latencies = {name: result.latency.latencies() for name, result in results.items()}
+    print()
+    print(format_policy_comparison(results, "1a (Figure 2)"))
+    print()
+    print(format_latency_cdf_table(latencies))
+    print()
+    print(ascii_cdf_plot(latencies, max_latency=0.06))
+
+    ups = results["ups"]
+    write_delay = results["write-delay"]
+    whole = results["nvram-whole-file"]
+    partial = results["nvram-partial-file"]
+    # Paper shape: write saving beats the 30-second baseline; whole-file NVRAM
+    # flushing beats partial-file flushing; UPS writes nothing at all.
+    assert ups.blocks_written_to_disk == 0
+    assert ups.write_savings_blocks >= write_delay.write_savings_blocks
+    assert ups.mean_latency <= write_delay.mean_latency * 1.10
+    assert whole.mean_latency <= partial.mean_latency * 1.05

@@ -1,0 +1,34 @@
+"""Figure 3: cumulative latency distribution, Sprite trace 1b (large parallel writes)."""
+
+from benchmarks.conftest import BENCH_SEED, BENCH_TRACE_SCALE, run_once
+from repro.analysis.report import format_latency_cdf_table, format_policy_comparison
+from repro.patsy.experiments import run_policy_comparison
+
+
+def test_fig3_trace_1b_latency_cdf(benchmark):
+    results = run_once(
+        benchmark,
+        run_policy_comparison,
+        "1b",
+        trace_scale=BENCH_TRACE_SCALE,
+        seed=BENCH_SEED,
+    )
+    latencies = {name: result.latency.latencies() for name, result in results.items()}
+    print()
+    print(format_policy_comparison(results, "1b (Figure 3)"))
+    print()
+    print(format_latency_cdf_table(latencies))
+
+    ups = results["ups"]
+    write_delay = results["write-delay"]
+    whole = results["nvram-whole-file"]
+    partial = results["nvram-partial-file"]
+    # Paper shape for 1b: the NVRAM becomes the bottleneck — the buffer drains
+    # dirty data before deletes can absorb it, so the NVRAM systems write at
+    # least as much as the 30-second baseline and save far less than UPS,
+    # while the UPS system still avoids writes entirely.
+    assert ups.blocks_written_to_disk == 0
+    assert whole.blocks_written_to_disk >= write_delay.blocks_written_to_disk * 0.8
+    assert whole.write_savings_blocks <= ups.write_savings_blocks
+    assert ups.mean_latency <= write_delay.mean_latency * 1.10
+    assert whole.mean_latency <= partial.mean_latency

@@ -1,0 +1,29 @@
+"""Figure 5: mean file-system latencies for all traces under all four policies."""
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.analysis.report import format_mean_latency_table
+from repro.patsy.experiments import mean_latency_table
+
+#: Figure 5 covers every trace; a smaller per-trace scale keeps the full
+#: 6 traces x 4 policies sweep in the minutes range.
+FIG5_TRACE_SCALE = 0.25
+
+
+def test_fig5_mean_latency_table(benchmark):
+    table = run_once(
+        benchmark,
+        mean_latency_table,
+        trace_scale=FIG5_TRACE_SCALE,
+        seed=BENCH_SEED,
+    )
+    print()
+    print(format_mean_latency_table(table))
+
+    assert set(table) == {"1a", "1b", "2a", "2b", "5", "6"}
+    for trace, row in table.items():
+        assert set(row) == {"write-delay", "ups", "nvram-whole-file", "nvram-partial-file"}
+        # The write-saving (UPS) policy is never slower than the 30-second
+        # baseline on any trace — the paper's headline Figure 5 conclusion.
+        assert row["ups"] <= row["write-delay"] * 1.10
+        # Whole-file NVRAM flushing never loses to partial-file flushing.
+        assert row["nvram-whole-file"] <= row["nvram-partial-file"] * 1.05

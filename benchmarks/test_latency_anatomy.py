@@ -1,0 +1,56 @@
+"""Latency anatomy (Section 5.1 discussion of Figures 2-4).
+
+"All operations that complete within 2-milliseconds are serviced from the
+file-system caches.  The 2-milliseconds boundary is the minimal latency when
+a request is serviced by the disk.  The period up to 17-milliseconds
+represents the time waiting for the rotation on disk (HP97560 disks spin at
+4002 rpm) ... The periods larger than 17-milliseconds are those when the
+disk queues were longer than one entry or when the disk required head and/or
+cylinder switches."
+"""
+
+from benchmarks.conftest import run_once
+from repro.config import small_test_config
+from repro.patsy.diskspec import HP97560
+from repro.patsy.simulator import PatsySimulator
+from repro.patsy.traces import TraceRecord
+from repro.units import KB
+
+
+def build_probe_trace():
+    records = []
+    # Cold reads of distinct files: each pays seek + rotation.
+    for i in range(40):
+        records.append(TraceRecord(i * 0.5, 0, "read", f"/cold/f{i:03d}", offset=0, size=4 * KB))
+    # Warm re-reads: served from the file-system cache.
+    for i in range(40):
+        records.append(
+            TraceRecord(25.0 + i * 0.5, 0, "read", f"/cold/f{i:03d}", offset=0, size=4 * KB)
+        )
+    return records
+
+
+def run_probe():
+    config = small_test_config()
+    simulator = PatsySimulator(config)
+    return simulator.replay(build_probe_trace(), trace_name="latency-anatomy")
+
+
+def test_latency_anatomy(benchmark):
+    result = run_once(benchmark, run_probe)
+    latencies = result.latency.latencies("read")
+    cold, warm = latencies[:40], latencies[40:]
+    rotation = HP97560.rotation_time  # ~15 ms
+
+    cache_fraction = sum(1 for value in warm if value < 0.002) / len(warm)
+    cold_mean = sum(cold) / len(cold)
+    print()
+    print(f"cache-served reads under 2 ms : {cache_fraction * 100:.1f}%")
+    print(f"mean cold read latency        : {cold_mean * 1000:.2f} ms")
+    print(f"one full rotation             : {rotation * 1000:.2f} ms")
+
+    # Cache hits sit below the 2 ms boundary; cold reads sit between the
+    # controller overhead and roughly one rotation plus a long seek.
+    assert cache_fraction >= 0.95
+    assert 0.002 < cold_mean < rotation + 0.03
+    assert max(cold) <= 4 * rotation

@@ -1,0 +1,6 @@
+"""Setup shim so the package installs on environments without the ``wheel``
+package (editable installs fall back to ``setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Analysis helpers: CDFs, summary tables and ASCII figures.
+
+The paper's figures are cumulative latency distributions (Figures 2-4) and a
+mean-latency comparison across traces (Figure 5).  These helpers turn
+:class:`~repro.patsy.simulator.SimulationResult` objects into the same
+artefacts, as data structures and as printable text.
+"""
+
+from repro.analysis.cdf import cumulative_distribution, fraction_at_or_below, summarize_latencies
+from repro.analysis.report import (
+    ascii_cdf_plot,
+    format_latency_cdf_table,
+    format_mean_latency_table,
+    format_policy_comparison,
+)
+
+__all__ = [
+    "cumulative_distribution",
+    "fraction_at_or_below",
+    "summarize_latencies",
+    "ascii_cdf_plot",
+    "format_latency_cdf_table",
+    "format_mean_latency_table",
+    "format_policy_comparison",
+]

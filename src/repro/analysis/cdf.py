@@ -1,0 +1,67 @@
+"""Cumulative latency distributions and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import InvalidArgument
+
+__all__ = ["cumulative_distribution", "fraction_at_or_below", "percentile", "summarize_latencies"]
+
+
+def cumulative_distribution(
+    values: Sequence[float], points: int = 100
+) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs suitable for plotting a CDF.
+
+    Returns at most ``points`` pairs, always including the minimum and the
+    maximum of the data.
+    """
+    if points < 2:
+        raise InvalidArgument("a CDF needs at least two points")
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    n = len(ordered)
+    if n <= points:
+        return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+    result: List[Tuple[float, float]] = []
+    for i in range(points):
+        index = min(int(round((i + 1) * n / points)) - 1, n - 1)
+        result.append((ordered[index], (index + 1) / n))
+    if result[-1][0] != ordered[-1]:
+        result[-1] = (ordered[-1], 1.0)
+    return result
+
+
+def fraction_at_or_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold (a single point of the CDF)."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value <= threshold) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-th percentile (0..1) of ``values``."""
+    if not (0.0 <= fraction <= 1.0):
+        raise InvalidArgument("percentile fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(int(math.ceil(fraction * len(ordered))) - 1, len(ordered) - 1)
+    return ordered[max(index, 0)]
+
+
+def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / tail summary of a latency sample."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "median": percentile(values, 0.5),
+        "p95": percentile(values, 0.95),
+        "p99": percentile(values, 0.99),
+        "max": max(values),
+    }

@@ -1,0 +1,129 @@
+"""Textual reports: the paper's figures as printable tables and ASCII plots."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.analysis.cdf import fraction_at_or_below
+from repro.units import human_time
+
+__all__ = [
+    "format_mean_latency_table",
+    "format_latency_cdf_table",
+    "format_policy_comparison",
+    "ascii_cdf_plot",
+]
+
+
+def format_mean_latency_table(
+    table: Mapping[str, Mapping[str, float]], title: str = "Figure 5: mean file-system latencies"
+) -> str:
+    """Render the Figure 5 table: traces as rows, policies as columns."""
+    policies: list[str] = []
+    for row in table.values():
+        for policy in row:
+            if policy not in policies:
+                policies.append(policy)
+    header = ["trace"] + policies
+    widths = [max(len(h), 18) for h in header]
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for trace, row in table.items():
+        cells = [trace.ljust(widths[0])]
+        for index, policy in enumerate(policies, start=1):
+            value = row.get(policy)
+            text = human_time(value) if value is not None else "-"
+            cells.append(text.ljust(widths[index]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_latency_cdf_table(
+    latencies_by_policy: Mapping[str, Sequence[float]],
+    thresholds: Optional[Sequence[float]] = None,
+    title: str = "cumulative fraction of operations completed within ...",
+) -> str:
+    """Render a CDF comparison: one row per latency threshold, one column per policy."""
+    if thresholds is None:
+        thresholds = (0.002, 0.005, 0.010, 0.017, 0.030, 0.060, 0.120, 0.250, 0.500, 1.0)
+    policies = list(latencies_by_policy)
+    header = ["latency <="] + policies
+    widths = [max(len(h), 14) for h in header]
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for threshold in thresholds:
+        cells = [human_time(threshold).ljust(widths[0])]
+        for index, policy in enumerate(policies, start=1):
+            fraction = fraction_at_or_below(latencies_by_policy[policy], threshold)
+            cells.append(f"{fraction * 100:6.1f}%".ljust(widths[index]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_policy_comparison(results: Mapping[str, object], trace_name: str = "") -> str:
+    """One-line-per-policy summary of a Figure 2-4 style comparison.
+
+    ``results`` maps policy name to
+    :class:`~repro.patsy.simulator.SimulationResult`.
+    """
+    lines = [f"trace {trace_name}" if trace_name else "policy comparison", ""]
+    header = f"{'policy':<22} {'mean':>10} {'median':>10} {'p95':>10} {'writes':>8} {'saved':>7} {'hit%':>6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for policy, result in results.items():
+        latency = result.latency
+        cache = result.cache_stats
+        lines.append(
+            f"{policy:<22} {human_time(latency.mean_latency()):>10} "
+            f"{human_time(latency.percentile(0.5)):>10} {human_time(latency.percentile(0.95)):>10} "
+            f"{result.blocks_written_to_disk:>8} {result.write_savings_blocks:>7} "
+            f"{cache.get('hit_rate', 0.0) * 100:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def ascii_cdf_plot(
+    latencies_by_series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    max_latency: Optional[float] = None,
+    title: str = "cumulative distribution of file-system latencies",
+) -> str:
+    """A rough ASCII rendering of one or more latency CDFs.
+
+    The x axis is latency (linear, 0 .. ``max_latency``); the y axis is the
+    cumulative fraction of operations completed.  Each series is drawn with
+    its own marker character.
+    """
+    markers = "*o+x#@%&"
+    series = list(latencies_by_series.items())
+    if not series:
+        return "(no data)"
+    if max_latency is None:
+        peaks = [max(values) for _, values in series if values]
+        max_latency = max(peaks) if peaks else 1.0
+    if max_latency <= 0:
+        max_latency = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series):
+        if not values:
+            continue
+        marker = markers[index % len(markers)]
+        for column in range(width):
+            latency = max_latency * (column + 1) / width
+            fraction = fraction_at_or_below(values, latency)
+            row = height - 1 - int(round(fraction * (height - 1)))
+            grid[row][column] = marker
+    lines = [title, ""]
+    for row_index, row in enumerate(grid):
+        fraction_label = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction_label:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0{' ' * (width - 12)}{human_time(max_latency):>10}")
+    legend = "  ".join(
+        f"{markers[index % len(markers)]} = {name}" for index, (name, _) in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Configuration objects for instantiating file systems and simulators.
+
+The cut-and-paste framework is assembled from components at start-up; these
+dataclasses are the "wiring lists" used by the two instantiations
+(:class:`repro.pfs.filesystem.PegasusFileSystem` and
+:class:`repro.patsy.simulator.PatsySimulator`).  They deliberately mirror the
+knobs discussed in the paper: cache size and flush policy (Section 5.1),
+storage layout and segment size (Section 2), the disk/bus complement of the
+simulated Sprite file server (Section 5.1), and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.units import DEFAULT_BLOCK_SIZE, KB, MB
+
+__all__ = [
+    "CacheConfig",
+    "FlushConfig",
+    "LayoutConfig",
+    "HostConfig",
+    "SimulationConfig",
+    "sprite_server_config",
+    "small_test_config",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """File-system block cache configuration."""
+
+    size_bytes: int = 8 * MB
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: replacement policy: "lru", "random", "lfu", "slru" or "lru-k".
+    replacement: str = "lru"
+    #: fraction of the cache protected by SLRU (only used by "slru").
+    slru_protected_fraction: float = 0.5
+    #: K parameter for LRU-K replacement.
+    lru_k: int = 2
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if self.size_bytes < self.block_size:
+            raise ConfigurationError("cache must hold at least one block")
+        if self.replacement not in {"lru", "random", "lfu", "slru", "lru-k"}:
+            raise ConfigurationError(f"unknown replacement policy {self.replacement!r}")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+
+@dataclass(frozen=True)
+class FlushConfig:
+    """Delayed-write (cache flush) policy configuration.
+
+    ``policy`` selects between the experiments of Section 5.1:
+
+    * ``"periodic"`` — the Unix 30-second-update baseline,
+    * ``"ups"`` — write-saving: flush only when out of non-dirty blocks,
+    * ``"nvram"`` — dirty data confined to an NVRAM buffer of
+      ``nvram_bytes``; when full, flush the oldest dirty block
+      (``whole_file=False``) or its whole file (``whole_file=True``).
+    """
+
+    policy: str = "periodic"
+    update_interval: float = 30.0
+    scan_interval: float = 5.0
+    nvram_bytes: int = 4 * MB
+    whole_file: bool = True
+    #: flush in a separate daemon thread (the Section 5.2 lesson) rather than
+    #: synchronously in the thread that needed a block.
+    asynchronous: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in {"periodic", "ups", "nvram"}:
+            raise ConfigurationError(f"unknown flush policy {self.policy!r}")
+        if self.update_interval <= 0 or self.scan_interval <= 0:
+            raise ConfigurationError("flush intervals must be positive")
+        if self.nvram_bytes <= 0:
+            raise ConfigurationError("nvram_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Storage-layout configuration (segmented LFS by default)."""
+
+    kind: str = "lfs"
+    segment_size: int = 256 * KB
+    #: start cleaning when the fraction of free segments drops below this.
+    cleaner_low_water: float = 0.2
+    #: stop cleaning when the fraction of free segments rises above this.
+    cleaner_high_water: float = 0.4
+    #: cleaner policy: "greedy" or "cost-benefit".
+    cleaner_policy: str = "cost-benefit"
+    #: FFS-style layout parameters (used when kind == "ffs").
+    cylinder_group_size: int = 2 * MB
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"lfs", "ffs"}:
+            raise ConfigurationError(f"unknown storage layout {self.kind!r}")
+        if self.segment_size <= 0:
+            raise ConfigurationError("segment_size must be positive")
+        if not (0.0 <= self.cleaner_low_water < self.cleaner_high_water <= 1.0):
+            raise ConfigurationError("cleaner water marks must satisfy 0 <= low < high <= 1")
+        if self.cleaner_policy not in {"greedy", "cost-benefit"}:
+            raise ConfigurationError(f"unknown cleaner policy {self.cleaner_policy!r}")
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Host and I/O sub-system configuration for a simulated machine."""
+
+    num_disks: int = 1
+    num_buses: int = 1
+    disk_model: str = "hp97560"
+    #: SCSI-2 sustained transfer rate, bytes per second.
+    bus_bandwidth: float = 10 * MB
+    #: per-transaction bus arbitration + selection overhead, seconds.
+    bus_overhead: float = 0.0002
+    #: host memory copy bandwidth, bytes per second (used to charge for the
+    #: buffer copies that the simulator cannot perform for real).
+    memory_copy_bandwidth: float = 80 * MB
+    #: disk queue scheduling policy: "fcfs", "scan", "cscan", "look", "clook".
+    io_scheduler: str = "clook"
+
+    def __post_init__(self) -> None:
+        if self.num_disks < 1 or self.num_buses < 1:
+            raise ConfigurationError("need at least one disk and one bus")
+        if self.num_buses > self.num_disks:
+            raise ConfigurationError("more buses than disks makes no sense")
+        if self.io_scheduler not in {"fcfs", "scan", "cscan", "look", "clook", "scan-edf"}:
+            raise ConfigurationError(f"unknown I/O scheduler {self.io_scheduler!r}")
+
+    def bus_for_disk(self, disk_index: int) -> int:
+        """Disks are spread round-robin over the available buses."""
+        return disk_index % self.num_buses
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete configuration of a Patsy simulation run."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    flush: FlushConfig = field(default_factory=FlushConfig)
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    #: random seed for the scheduler and any synthesised parameters.
+    seed: int = 0
+    #: emit interval statistics every this many seconds of simulated time
+    #: (the paper reports every 15 minutes).
+    report_interval: float = 900.0
+    #: stop the simulation after this much simulated time (None = run the
+    #: whole trace).
+    max_simulated_time: Optional[float] = None
+
+    def with_flush(self, flush: FlushConfig) -> "SimulationConfig":
+        """A copy of this configuration with a different flush policy."""
+        return replace(self, flush=flush)
+
+
+def sprite_server_config(scale: float = 1.0, seed: int = 0) -> SimulationConfig:
+    """Configuration modelled on the traced Sprite file server.
+
+    The original machine was a Sun 4/280 with 128 MB of main memory and ten
+    disks on three SCSI buses (Section 5.1).  ``scale`` shrinks the memory
+    sizes (cache and NVRAM) proportionally so that scaled-down synthetic
+    traces exercise the same regimes — the published experiments depend on
+    the *ratio* of NVRAM to cache and of working set to cache, not on the
+    absolute 1996 sizes.
+    """
+    if scale <= 0 or scale > 1.0:
+        raise ConfigurationError("scale must be in (0, 1]")
+    cache_bytes = max(int(128 * MB * scale), 64 * DEFAULT_BLOCK_SIZE)
+    nvram_bytes = max(int(4 * MB * scale), 8 * DEFAULT_BLOCK_SIZE)
+    return SimulationConfig(
+        cache=CacheConfig(size_bytes=cache_bytes),
+        flush=FlushConfig(policy="periodic", nvram_bytes=nvram_bytes),
+        layout=LayoutConfig(kind="lfs"),
+        host=HostConfig(num_disks=10, num_buses=3),
+        seed=seed,
+    )
+
+
+def small_test_config(seed: int = 0) -> SimulationConfig:
+    """A deliberately tiny configuration for unit tests: one disk, one bus,
+    a 64-block cache and an 8-block NVRAM."""
+    return SimulationConfig(
+        cache=CacheConfig(size_bytes=64 * DEFAULT_BLOCK_SIZE),
+        flush=FlushConfig(policy="periodic", nvram_bytes=8 * DEFAULT_BLOCK_SIZE),
+        layout=LayoutConfig(segment_size=16 * DEFAULT_BLOCK_SIZE),
+        host=HostConfig(num_disks=1, num_buses=1),
+        seed=seed,
+        report_interval=60.0,
+    )

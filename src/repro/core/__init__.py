@@ -1,0 +1,41 @@
+"""The cut-and-paste component library.
+
+Everything in this package is shared between the on-line file system
+(:mod:`repro.pfs`) and the off-line simulator (:mod:`repro.patsy`); the two
+instantiations only add *helper* components (a real disk back-end and NFS
+front-end on one side, simulated disks/buses and trace readers on the
+other), exactly as described in Sections 2-4 of the paper.
+"""
+
+from repro.core.clock import Clock, RealClock, VirtualClock
+from repro.core.scheduler import (
+    Delay,
+    Reschedule,
+    Scheduler,
+    SchedulingPolicy,
+    FifoSchedulingPolicy,
+    RandomSchedulingPolicy,
+    Thread,
+    ThreadState,
+    WaitEvent,
+)
+from repro.core.sync import Event, Mutex, Resource, Semaphore
+
+__all__ = [
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+    "Delay",
+    "Reschedule",
+    "Scheduler",
+    "SchedulingPolicy",
+    "FifoSchedulingPolicy",
+    "RandomSchedulingPolicy",
+    "Thread",
+    "ThreadState",
+    "WaitEvent",
+    "Event",
+    "Mutex",
+    "Resource",
+    "Semaphore",
+]

@@ -1,0 +1,482 @@
+"""The file-system block cache.
+
+"The cache modules are used to administer and maintain a file-system block
+cache.  It provides interfaces to administer all dirty, non-dirty and free
+blocks in lists, and it provides interfaces to allocate blocks from the
+cache.  Also, when blocks are allocated from a full cache, it decides which
+blocks are replaced and flushed." (Section 2)
+
+The base cache keeps three collections:
+
+* a free list of never-used slots,
+* a *clean* (non-dirty) list in LRU order,
+* a *dirty* list ordered by the time each block first became dirty.
+
+Allocation takes free slots first, then evicts from the clean list using the
+configured :class:`~repro.core.replacement.ReplacementPolicy`.  When neither
+is possible the cache "initiates a cache flush through the oldest dirty
+block" — either synchronously in the allocating thread, or by kicking an
+asynchronous flush daemon (the Section 5.2 lesson) registered by the active
+:class:`~repro.core.flush.FlushPolicy`.
+
+Persistency policies (the 30-second update timer, UPS write-saving, NVRAM)
+are *derived components* implemented in :mod:`repro.core.flush`; they drive
+the cache through the public flush interfaces below.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.config import CacheConfig
+from repro.core.blocks import BlockId, BlockState, CacheBlock
+from repro.core.replacement import LruReplacement, make_replacement_policy
+from repro.core.scheduler import Scheduler
+from repro.errors import CacheError, CacheExhaustedError
+
+__all__ = ["BlockCache", "CacheStatistics", "WritebackFn"]
+
+#: Writeback callback registered by the file system: a generator function
+#: that writes the given logical blocks of ``file_id`` to stable storage and
+#: returns when the write has completed.
+WritebackFn = Callable[[int, list[int]], Generator[Any, Any, None]]
+
+
+@dataclass
+class CacheStatistics:
+    """Counters maintained by the cache; read by statistics plug-ins."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    allocations: int = 0
+    evictions: int = 0
+    blocks_dirtied: int = 0
+    blocks_cleaned: int = 0
+    writeback_calls: int = 0
+    blocks_written: int = 0
+    dirty_blocks_discarded: int = 0
+    allocation_stalls: int = 0
+    nvram_stalls: int = 0
+    peak_dirty_bytes: int = 0
+    forced_replacement_flushes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "allocations": self.allocations,
+            "evictions": self.evictions,
+            "blocks_dirtied": self.blocks_dirtied,
+            "blocks_cleaned": self.blocks_cleaned,
+            "writeback_calls": self.writeback_calls,
+            "blocks_written": self.blocks_written,
+            "dirty_blocks_discarded": self.dirty_blocks_discarded,
+            "allocation_stalls": self.allocation_stalls,
+            "nvram_stalls": self.nvram_stalls,
+            "peak_dirty_bytes": self.peak_dirty_bytes,
+            "forced_replacement_flushes": self.forced_replacement_flushes,
+        }
+
+
+class BlockCache:
+    """The framework's block cache (base component).
+
+    Parameters
+    ----------
+    scheduler:
+        The thread scheduler (for time stamps and blocking).
+    config:
+        Cache geometry and replacement policy.
+    with_data:
+        ``True`` for an on-line system (slots own real buffers), ``False``
+        for a simulator.
+    """
+
+    def __init__(self, scheduler: Scheduler, config: CacheConfig, with_data: bool = True):
+        self.scheduler = scheduler
+        self.config = config
+        self.block_size = config.block_size
+        self.with_data = with_data
+        self.replacement = make_replacement_policy(
+            config.replacement, slru_fraction=config.slru_protected_fraction, k=config.lru_k
+        )
+        self._slots = [
+            CacheBlock(slot, config.block_size, with_data) for slot in range(config.num_blocks)
+        ]
+        self._free: deque[CacheBlock] = deque(self._slots)
+        self._index: dict[BlockId, CacheBlock] = {}
+        self._clean: "OrderedDict[BlockId, CacheBlock]" = OrderedDict()
+        self._dirty: "OrderedDict[BlockId, CacheBlock]" = OrderedDict()
+        self.stats = CacheStatistics()
+
+        #: registered by the file system; required before any flush happens.
+        self.writeback: Optional[WritebackFn] = None
+        #: set by the NVRAM flush policy: maximum bytes of dirty data allowed.
+        self.dirty_limit_bytes: Optional[int] = None
+        #: whether draining for the dirty limit flushes whole files.
+        self.drain_whole_file: bool = True
+        #: whether replacement-pressure flushes write whole files.
+        self.flush_whole_file_on_replacement: bool = False
+        #: when set, allocation pressure is delegated to this callable
+        #: (the asynchronous flush daemon) instead of flushing inline.
+        self.space_requester: Optional[Callable[[], None]] = None
+
+        self._space_available = scheduler.new_event("cache-space")
+        self._io_done = scheduler.new_event("cache-io-done")
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._slots)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def clean_count(self) -> int:
+        return len(self._clean)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return len(self._dirty) * self.block_size
+
+    @property
+    def cached_count(self) -> int:
+        return len(self._index)
+
+    def contains(self, file_id: int, block_no: int) -> bool:
+        return BlockId(file_id, block_no) in self._index
+
+    def peek(self, file_id: int, block_no: int) -> Optional[CacheBlock]:
+        """Look up a block without touching statistics or recency."""
+        return self._index.get(BlockId(file_id, block_no))
+
+    def lookup(self, file_id: int, block_no: int) -> Optional[CacheBlock]:
+        """Look up a block, recording a hit or miss and updating recency."""
+        self.stats.lookups += 1
+        block = self._index.get(BlockId(file_id, block_no))
+        if block is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.touch(block)
+        return block
+
+    def touch(self, block: CacheBlock) -> None:
+        """Record an access to ``block`` for replacement bookkeeping."""
+        block.record_access(self.scheduler.now)
+        if block.is_clean and block.block_id in self._clean:
+            self._clean.move_to_end(block.block_id)
+
+    def dirty_blocks_of(self, file_id: int) -> list[CacheBlock]:
+        """Dirty blocks of one file, oldest first."""
+        return [block for block in self._dirty.values() if block.block_id.file_id == file_id]
+
+    def cached_blocks_of(self, file_id: int) -> list[CacheBlock]:
+        return [block for block in self._index.values() if block.block_id.file_id == file_id]
+
+    def oldest_dirty(self, skip_busy: bool = True) -> Optional[CacheBlock]:
+        for block in self._dirty.values():
+            if skip_busy and block.busy:
+                continue
+            return block
+        return None
+
+    def dirty_files(self) -> list[int]:
+        """File identifiers that currently own dirty blocks, oldest first."""
+        seen: list[int] = []
+        for block in self._dirty.values():
+            file_id = block.block_id.file_id
+            if file_id not in seen:
+                seen.append(file_id)
+        return seen
+
+    def blocks(self) -> Iterable[CacheBlock]:
+        return iter(self._slots)
+
+    def oldest_dirty_age(self) -> float:
+        """Age (seconds) of the oldest dirty block, or 0 when nothing is dirty."""
+        block = self.oldest_dirty(skip_busy=False)
+        if block is None or block.dirty_since is None:
+            return 0.0
+        return self.scheduler.now - block.dirty_since
+
+    # ------------------------------------------------------------------ waiting helpers
+
+    def wait_block_ready(self) -> Generator[Any, Any, None]:
+        """Wait until some in-flight block I/O completes (spurious wake-ups
+        are possible; callers re-check their condition in a loop)."""
+        yield from self._io_done.wait()
+
+    def notify_block_ready(self) -> None:
+        self._io_done.signal()
+
+    # ------------------------------------------------------------------ allocation
+
+    def allocate(self, file_id: int, block_no: int) -> Generator[Any, Any, CacheBlock]:
+        """Allocate a cache slot for ``(file_id, block_no)``.
+
+        The returned block is inserted in the clean list with invalid
+        contents; callers pin it and mark it busy while filling it (from disk
+        or from a client write).  Blocks "are first allocated from the
+        non-dirty list, and when there are no non-dirty blocks available, the
+        cache initiates a cache flush through the oldest dirty block".
+        """
+        block_id = BlockId(file_id, block_no)
+        if block_id in self._index:
+            raise CacheError(f"block {block_id} is already cached")
+        attempts = 0
+        while True:
+            block = self._take_free_or_evict()
+            if block is not None:
+                break
+            attempts += 1
+            if attempts > 10 * self.num_blocks:
+                raise CacheExhaustedError(
+                    f"cannot allocate a cache block for {block_id}: "
+                    f"{self.dirty_count} dirty, {self.clean_count} clean (all pinned?)"
+                )
+            self.stats.allocation_stalls += 1
+            yield from self._make_space()
+        block.block_id = block_id
+        block.state = BlockState.CLEAN
+        block.record_access(self.scheduler.now)
+        self._index[block_id] = block
+        self._clean[block_id] = block
+        self.stats.allocations += 1
+        return block
+
+    def _take_free_or_evict(self) -> Optional[CacheBlock]:
+        if self._free:
+            return self._free.popleft()
+        victim = self._select_clean_victim()
+        if victim is None:
+            return None
+        self._remove(victim)
+        victim.reset()
+        self.stats.evictions += 1
+        return victim
+
+    def _select_clean_victim(self) -> Optional[CacheBlock]:
+        if isinstance(self.replacement, LruReplacement):
+            # Fast path: the clean list is already in recency order.
+            for block in self._clean.values():
+                if not block.pinned and not block.busy:
+                    return block
+            return None
+        candidates = [b for b in self._clean.values() if not b.pinned and not b.busy]
+        return self.replacement.victim(candidates, self.scheduler.rng)
+
+    def has_allocatable_slot(self) -> bool:
+        """True when an allocation could succeed right now without flushing."""
+        return bool(self._free) or self._select_clean_victim() is not None
+
+    def _make_space(self) -> Generator[Any, Any, None]:
+        """Create an evictable block, by flushing dirty data."""
+        if self.space_requester is not None:
+            # Asynchronous flushing: wake the flush daemon and wait for it to
+            # report that space is available.
+            self.space_requester()
+            yield from self._space_available.wait()
+            return
+        # Synchronous flushing in the allocating thread (the original design
+        # the paper's Section 5.2 later moved away from).
+        self.stats.forced_replacement_flushes += 1
+        yield from self._flush_for_replacement()
+
+    def _flush_for_replacement(self) -> Generator[Any, Any, int]:
+        """Flush dirty data to make room.  Overridable: the default flushes
+        the single oldest dirty block; with ``flush_whole_file_on_replacement``
+        it flushes the whole file owning the oldest dirty block."""
+        victim = self.oldest_dirty()
+        if victim is None:
+            # Everything is pinned/busy; wait for in-flight I/O to finish.
+            yield from self.wait_block_ready()
+            return 0
+        if self.flush_whole_file_on_replacement:
+            return (yield from self.flush_file(victim.block_id.file_id))
+        return (yield from self.flush_block(victim))
+
+    def notify_space_available(self) -> None:
+        """Called by the flush daemon once clean/free blocks exist again."""
+        self._space_available.signal()
+
+    # ------------------------------------------------------------------ dirty / clean transitions
+
+    def mark_dirty(self, block: CacheBlock) -> Generator[Any, Any, None]:
+        """Mark ``block`` dirty, honouring the NVRAM dirty-data limit.
+
+        When a dirty-byte limit is configured (the NVRAM experiments) and the
+        limit is reached, the caller is stalled while the oldest dirty data
+        is drained to disk — this is exactly the "new writes are waiting for
+        the NVRAM to drain" behaviour reported for trace 1b.
+        """
+        if block.block_id is None or block.block_id not in self._index:
+            raise CacheError("cannot dirty a block that is not in the cache")
+        if block.is_dirty:
+            self.touch(block)
+            return
+        while (
+            self.dirty_limit_bytes is not None
+            and self.dirty_bytes + self.block_size > self.dirty_limit_bytes
+            and self.dirty_count > 0
+        ):
+            self.stats.nvram_stalls += 1
+            yield from self._drain_for_dirty_limit()
+        self._clean.pop(block.block_id, None)
+        block.state = BlockState.DIRTY
+        block.dirty_since = self.scheduler.now
+        self._dirty[block.block_id] = block
+        self.stats.blocks_dirtied += 1
+        self.stats.peak_dirty_bytes = max(self.stats.peak_dirty_bytes, self.dirty_bytes)
+        self.touch(block)
+
+    def _drain_for_dirty_limit(self) -> Generator[Any, Any, None]:
+        victim = self.oldest_dirty()
+        if victim is None:
+            yield from self.wait_block_ready()
+            return
+        if self.drain_whole_file:
+            yield from self.flush_file(victim.block_id.file_id)
+        else:
+            yield from self.flush_block(victim)
+
+    def mark_clean(self, block: CacheBlock) -> None:
+        """Move a dirty block back to the clean list (its data is on disk)."""
+        if not block.is_dirty:
+            return
+        self._dirty.pop(block.block_id, None)
+        block.state = BlockState.CLEAN
+        block.dirty_since = None
+        self._clean[block.block_id] = block
+        self._clean.move_to_end(block.block_id)
+        self.stats.blocks_cleaned += 1
+
+    # ------------------------------------------------------------------ invalidation
+
+    def _remove(self, block: CacheBlock) -> None:
+        if block.block_id is None:
+            return
+        self._index.pop(block.block_id, None)
+        self._clean.pop(block.block_id, None)
+        self._dirty.pop(block.block_id, None)
+
+    def invalidate(self, block: CacheBlock) -> None:
+        """Drop one block from the cache, discarding its contents."""
+        if block.pinned or block.busy:
+            raise CacheError(f"cannot invalidate pinned/busy block {block.block_id}")
+        if block.is_dirty:
+            self.stats.dirty_blocks_discarded += 1
+        self._remove(block)
+        block.reset()
+        self._free.append(block)
+
+    def invalidate_file(self, file_id: int, from_block: int = 0) -> tuple[int, int]:
+        """Drop every cached block of ``file_id`` with block number >=
+        ``from_block`` (used by delete and truncate).
+
+        Returns ``(clean_dropped, dirty_dropped)``.  Dirty blocks dropped
+        here are the "write savings" of the delayed-write policies: data that
+        died in memory and never cost a disk write.
+        """
+        clean_dropped = 0
+        dirty_dropped = 0
+        doomed = [
+            block
+            for block in self._index.values()
+            if block.block_id.file_id == file_id and block.block_id.block_no >= from_block
+        ]
+        for block in doomed:
+            if block.pinned or block.busy:
+                # An in-flight I/O will complete harmlessly; skip it.
+                continue
+            if block.is_dirty:
+                dirty_dropped += 1
+            else:
+                clean_dropped += 1
+            if block.is_dirty:
+                self.stats.dirty_blocks_discarded += 1
+            self._remove(block)
+            block.reset()
+            self._free.append(block)
+        if doomed:
+            self.notify_space_available()
+        return clean_dropped, dirty_dropped
+
+    # ------------------------------------------------------------------ flushing
+
+    def flush_block(self, block: CacheBlock) -> Generator[Any, Any, int]:
+        """Write one dirty block to disk; returns the number of blocks written."""
+        if not block.is_dirty or block.busy:
+            return 0
+        return (yield from self._writeback_blocks(block.block_id.file_id, [block]))
+
+    def flush_file(self, file_id: int) -> Generator[Any, Any, int]:
+        """Write every dirty block of ``file_id`` to disk."""
+        blocks = [b for b in self.dirty_blocks_of(file_id) if not b.busy]
+        if not blocks:
+            return 0
+        return (yield from self._writeback_blocks(file_id, blocks))
+
+    def flush_oldest(self, whole_file: bool) -> Generator[Any, Any, int]:
+        """Flush the oldest dirty block, or its whole file."""
+        victim = self.oldest_dirty()
+        if victim is None:
+            return 0
+        if whole_file:
+            return (yield from self.flush_file(victim.block_id.file_id))
+        return (yield from self.flush_block(victim))
+
+    def flush_all(self) -> Generator[Any, Any, int]:
+        """Flush every dirty block (sync / unmount / checkpoint)."""
+        written = 0
+        while True:
+            victim = self.oldest_dirty()
+            if victim is None:
+                break
+            written += yield from self.flush_file(victim.block_id.file_id)
+        return written
+
+    def _writeback_blocks(self, file_id: int, blocks: list[CacheBlock]) -> Generator[Any, Any, int]:
+        if self.writeback is None:
+            raise CacheError("no writeback function registered with the cache")
+        for block in blocks:
+            block.busy = True
+            block.pin()
+        block_nos = sorted(block.block_id.block_no for block in blocks)
+        try:
+            yield from self.writeback(file_id, block_nos)
+        finally:
+            for block in blocks:
+                block.unpin()
+                block.busy = False
+        for block in blocks:
+            self.mark_clean(block)
+        self.stats.writeback_calls += 1
+        self.stats.blocks_written += len(blocks)
+        self.notify_space_available()
+        self.notify_block_ready()
+        return len(blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCache(blocks={self.num_blocks}, free={self.free_count}, "
+            f"clean={self.clean_count}, dirty={self.dirty_count})"
+        )

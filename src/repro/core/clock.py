@@ -1,0 +1,88 @@
+"""Clocks: virtual time for the simulator, real time for the on-line system.
+
+The paper's thread scheduler "knows what the current time is for a real
+system and it defines virtual time for a simulator".  We capture that with a
+small :class:`Clock` interface and two implementations:
+
+* :class:`VirtualClock` — time only moves when the scheduler advances it
+  (to the expiry time of the earliest delayed thread).  This is the discrete
+  event simulation clock used by Patsy.
+* :class:`RealClock` — time is wall-clock time (``time.monotonic``), and
+  "advancing" the clock sleeps until the requested instant.  This is what a
+  PFS instantiation uses when serving real clients.
+
+Both clocks report time in seconds since the clock was created, so simulated
+and real runs of the same code see the same time base.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Abstract time source used by :class:`repro.core.scheduler.Scheduler`."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds since the clock's epoch."""
+
+    @abstractmethod
+    def advance_to(self, deadline: float) -> None:
+        """Move time forward to ``deadline`` (never backwards)."""
+
+    @property
+    def is_virtual(self) -> bool:
+        """``True`` if advancing this clock costs no wall-clock time."""
+        return False
+
+
+class VirtualClock(Clock):
+    """Discrete-event simulation clock.
+
+    ``advance_to`` jumps straight to the deadline; attempts to move time
+    backwards are ignored, which makes the scheduler's "advance to the first
+    delayed thread" step idempotent.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, deadline: float) -> None:
+        if deadline > self._now:
+            self._now = float(deadline)
+
+    @property
+    def is_virtual(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+class RealClock(Clock):
+    """Wall-clock time source for on-line (PFS) instantiations.
+
+    The epoch is the moment the clock is constructed, so ``now()`` starts at
+    (approximately) zero just like :class:`VirtualClock`.
+    """
+
+    def __init__(self, sleep=time.sleep, monotonic=time.monotonic):
+        self._sleep = sleep
+        self._monotonic = monotonic
+        self._epoch = monotonic()
+
+    def now(self) -> float:
+        return self._monotonic() - self._epoch
+
+    def advance_to(self, deadline: float) -> None:
+        remaining = deadline - self.now()
+        if remaining > 0:
+            self._sleep(remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RealClock(now={self.now():.6f})"

@@ -1,0 +1,100 @@
+"""Hierarchical name space: path resolution over directory files.
+
+Paths are Unix-style (``/a/b/c``).  Resolution walks directory files through
+the ordinary cached-read path, so name lookups hit the block cache and the
+disk exactly like any other access — which is what makes directory traffic
+show up in the simulator's latency distributions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.core.filetypes import BaseFile, DirectoryFile, SymlinkFile
+from repro.errors import FileNotFound, InvalidArgument, NotADirectory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.filesystem import FileSystem
+
+__all__ = ["Namespace", "split_path", "normalize_path"]
+
+#: maximum number of symbolic links followed during one resolution.
+MAX_SYMLINK_DEPTH = 8
+
+
+def split_path(path: str) -> list[str]:
+    """Split a path into components, ignoring empty ones and single dots."""
+    if not isinstance(path, str):
+        raise InvalidArgument(f"path must be a string, got {type(path).__name__}")
+    components = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        components.append(part)
+    return components
+
+
+def normalize_path(path: str) -> str:
+    """Canonical form of a path (always absolute, no duplicate slashes)."""
+    return "/" + "/".join(split_path(path))
+
+
+class Namespace:
+    """Resolves paths to instantiated files."""
+
+    def __init__(self, fs: "FileSystem"):
+        self.fs = fs
+        self.lookups = 0
+        self.symlinks_followed = 0
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(
+        self, path: str, follow_symlinks: bool = True, _depth: int = 0
+    ) -> Generator[Any, Any, BaseFile]:
+        """Resolve ``path`` to an instantiated file (raises FileNotFound)."""
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise InvalidArgument(f"too many levels of symbolic links resolving {path!r}")
+        self.lookups += 1
+        current: BaseFile = self.fs.root_directory()
+        components = split_path(path)
+        for index, name in enumerate(components):
+            if not isinstance(current, DirectoryFile):
+                raise NotADirectory(f"{'/'.join(components[:index]) or '/'} is not a directory")
+            inode_number = yield from current.lookup(name)
+            if inode_number is None:
+                raise FileNotFound(f"no such file or directory: {path!r}")
+            current = yield from self.fs.file_table.load(inode_number)
+            is_last = index == len(components) - 1
+            if isinstance(current, SymlinkFile) and (follow_symlinks or not is_last):
+                self.symlinks_followed += 1
+                target = current.target
+                if not target.startswith("/"):
+                    target = "/".join(["/".join(components[:index])] + [target])
+                remainder = "/".join(components[index + 1 :])
+                full = target if not remainder else target.rstrip("/") + "/" + remainder
+                return (
+                    yield from self.resolve(full, follow_symlinks=follow_symlinks, _depth=_depth + 1)
+                )
+        return current
+
+    def resolve_parent(self, path: str) -> Generator[Any, Any, tuple[DirectoryFile, str]]:
+        """Resolve the parent directory of ``path``; returns (dir, leaf name)."""
+        components = split_path(path)
+        if not components:
+            raise InvalidArgument("the root directory has no parent")
+        parent_path = "/" + "/".join(components[:-1])
+        parent = yield from self.resolve(parent_path)
+        if not isinstance(parent, DirectoryFile):
+            raise NotADirectory(f"{parent_path} is not a directory")
+        return parent, components[-1]
+
+    def exists(self, path: str) -> Generator[Any, Any, bool]:
+        try:
+            yield from self.resolve(path)
+            return True
+        except (FileNotFound, NotADirectory):
+            return False
+
+    def __repr__(self) -> str:
+        return f"Namespace(lookups={self.lookups})"

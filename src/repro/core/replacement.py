@@ -1,0 +1,143 @@
+"""Cache replacement policies.
+
+The base cache maintains LRU lists; "different cache administration policies
+are easily implemented by re-implementing the replacement methods of the
+base-class in a new derived class — for example RR, LFU, SLRU, LRU-K or
+adaptive" (Section 2).  Here each policy is a small strategy object that the
+cache consults when it must pick a clean victim block.
+
+The policy sees only the candidate clean, unpinned blocks; ordering
+book-keeping (access times, access counts, access history) lives on the
+blocks themselves, so policies are stateless and interchangeable at run time.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.core.blocks import CacheBlock
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruReplacement",
+    "RandomReplacement",
+    "LfuReplacement",
+    "SlruReplacement",
+    "LruKReplacement",
+    "make_replacement_policy",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Strategy for choosing which clean block to evict."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def victim(self, candidates: Sequence[CacheBlock], rng: random.Random) -> Optional[CacheBlock]:
+        """Pick the block to evict from ``candidates`` (may be empty)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LruReplacement(ReplacementPolicy):
+    """Evict the least recently used block (the framework default).
+
+    The cache presents candidates in recency order (least recent first), so
+    this policy is O(1); it simply takes the first candidate.
+    """
+
+    name = "lru"
+
+    def victim(self, candidates: Sequence[CacheBlock], rng: random.Random) -> Optional[CacheBlock]:
+        return candidates[0] if candidates else None
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Evict a random clean block (the paper's "RR")."""
+
+    name = "random"
+
+    def victim(self, candidates: Sequence[CacheBlock], rng: random.Random) -> Optional[CacheBlock]:
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+
+class LfuReplacement(ReplacementPolicy):
+    """Evict the least frequently used block, breaking ties by recency."""
+
+    name = "lfu"
+
+    def victim(self, candidates: Sequence[CacheBlock], rng: random.Random) -> Optional[CacheBlock]:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda block: (block.access_count, block.last_access))
+
+
+class SlruReplacement(ReplacementPolicy):
+    """Segmented LRU: prefer evicting blocks referenced only once.
+
+    Blocks that have been accessed a single time form the probationary
+    segment; they are evicted (LRU order) before any block that has been
+    re-referenced (the protected segment).
+    """
+
+    name = "slru"
+
+    def victim(self, candidates: Sequence[CacheBlock], rng: random.Random) -> Optional[CacheBlock]:
+        if not candidates:
+            return None
+        probationary = [block for block in candidates if block.access_count <= 1]
+        pool = probationary if probationary else candidates
+        return min(pool, key=lambda block: block.last_access)
+
+
+class LruKReplacement(ReplacementPolicy):
+    """LRU-K: evict the block whose K-th most recent access is oldest.
+
+    Blocks with fewer than K recorded accesses are treated as having an
+    infinitely old K-th access, so they are evicted first (classic LRU-K
+    behaviour).
+    """
+
+    name = "lru-k"
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ConfigurationError("LRU-K requires k >= 1")
+        self.k = k
+
+    def victim(self, candidates: Sequence[CacheBlock], rng: random.Random) -> Optional[CacheBlock]:
+        if not candidates:
+            return None
+
+        def kth_access(block: CacheBlock) -> float:
+            history = block.access_history
+            if len(history) < self.k:
+                return float("-inf")
+            return history[-self.k]
+
+        return min(candidates, key=lambda block: (kth_access(block), block.last_access))
+
+    def __repr__(self) -> str:
+        return f"LruKReplacement(k={self.k})"
+
+
+def make_replacement_policy(name: str, *, slru_fraction: float = 0.5, k: int = 2) -> ReplacementPolicy:
+    """Factory used by :class:`repro.core.cache.BlockCache` from configuration."""
+    if name == "lru":
+        return LruReplacement()
+    if name == "random":
+        return RandomReplacement()
+    if name == "lfu":
+        return LfuReplacement()
+    if name == "slru":
+        return SlruReplacement()
+    if name == "lru-k":
+        return LruKReplacement(k)
+    raise ConfigurationError(f"unknown replacement policy {name!r}")

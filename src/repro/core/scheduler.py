@@ -1,0 +1,579 @@
+"""The cut-and-paste thread scheduler.
+
+The scheduler is the first core component of the framework (Section 2 of the
+paper): it "implements threads, synchronization primitives and real or
+virtual time".  Independent file-system activities — client requests, the
+cache-flush daemon, the LFS cleaner, each simulated disk — run as separate
+cooperative threads on top of it.
+
+Threads are Python generators.  A thread's body ``yield``\\ s small command
+objects back to the scheduler:
+
+* :class:`Delay` — suspend for some amount of (virtual or real) time,
+* :class:`WaitEvent` — block until an :class:`Event` is signalled,
+* :class:`Reschedule` — give up the processor but stay runnable.
+
+Nested calls simply use ``yield from``, so a deep call chain (client
+interface -> file -> cache -> storage layout -> disk driver) suspends and
+resumes as a single logical thread, exactly like the C++ threads in the
+original system.
+
+When the scheduler is configured with a :class:`~repro.core.clock.VirtualClock`
+it is a discrete-event simulator: time jumps to the expiry of the earliest
+delayed thread whenever nothing is runnable.  With a
+:class:`~repro.core.clock.RealClock` the same code waits in real time, which
+is how a PFS instantiation serves real clients.
+
+As in the paper, the default scheduling policy picks a *random* runnable
+thread; other policies are derived classes of :class:`SchedulingPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+
+from repro.core.clock import Clock, VirtualClock
+from repro.errors import DeadlockError, SchedulerError
+
+__all__ = [
+    "Delay",
+    "WaitEvent",
+    "Reschedule",
+    "Event",
+    "Thread",
+    "ThreadState",
+    "SchedulingPolicy",
+    "RandomSchedulingPolicy",
+    "FifoSchedulingPolicy",
+    "Scheduler",
+]
+
+
+# ---------------------------------------------------------------------------
+# Primitives yielded by thread bodies
+# ---------------------------------------------------------------------------
+
+
+class Delay:
+    """Suspend the calling thread for ``seconds`` of scheduler time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError(f"cannot delay for a negative duration: {seconds}")
+        self.seconds = float(seconds)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.seconds!r})"
+
+
+class WaitEvent:
+    """Block the calling thread until ``event`` is signalled.
+
+    The value passed to :meth:`Event.signal` becomes the result of the
+    ``yield`` expression in the waiting thread.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "Event"):
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"WaitEvent({self.event!r})"
+
+
+class Reschedule:
+    """Yield the processor voluntarily; the thread stays runnable."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Reschedule()"
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+
+class Event:
+    """The scheduler's basic synchronisation primitive.
+
+    Following the paper, "each thread can pick a unique event and block on
+    it; once a thread has blocked itself, another thread signals the event
+    through the scheduler to make the thread runnable again".
+
+    To avoid lost wake-ups in a cooperative system, a signal delivered while
+    no thread is waiting is remembered: the next :meth:`wait` consumes it and
+    returns immediately.  Signalling with waiters present wakes *all* of
+    them (broadcast), each receiving the signalled value.
+    """
+
+    _counter = itertools.count()
+
+    __slots__ = ("name", "_scheduler", "_waiters", "_pending", "_pending_value")
+
+    def __init__(self, scheduler: Optional["Scheduler"] = None, name: str = ""):
+        self.name = name or f"event-{next(Event._counter)}"
+        self._scheduler = scheduler
+        self._waiters: list[Thread] = []
+        self._pending = False
+        self._pending_value: Any = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def is_signalled(self) -> bool:
+        """True if a signal is pending (delivered with no waiters present)."""
+        return self._pending
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    # -- signalling ----------------------------------------------------------
+
+    def signal(self, value: Any = None) -> int:
+        """Wake every waiting thread, delivering ``value``.
+
+        Returns the number of threads woken.  If nobody is waiting the
+        signal is latched for the next waiter.
+        """
+        if self._waiters:
+            woken = 0
+            waiters, self._waiters = self._waiters, []
+            for thread in waiters:
+                thread._wake(value)
+                woken += 1
+            return woken
+        self._pending = True
+        self._pending_value = value
+        return 0
+
+    def clear(self) -> None:
+        """Drop any latched signal."""
+        self._pending = False
+        self._pending_value = None
+
+    # -- waiting -------------------------------------------------------------
+
+    def wait(self) -> Generator[Any, Any, Any]:
+        """Generator helper: ``value = yield from event.wait()``."""
+        if self._pending:
+            self._pending = False
+            value, self._pending_value = self._pending_value, None
+            return value
+        value = yield WaitEvent(self)
+        return value
+
+    # -- scheduler hooks ------------------------------------------------------
+
+    def _consume_pending(self) -> tuple[bool, Any]:
+        if self._pending:
+            self._pending = False
+            value, self._pending_value = self._pending_value, None
+            return True, value
+        return False, None
+
+    def _add_waiter(self, thread: "Thread") -> None:
+        self._waiters.append(thread)
+
+    def _remove_waiter(self, thread: "Thread") -> None:
+        if thread in self._waiters:
+            self._waiters.remove(thread)
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, waiters={len(self._waiters)}, pending={self._pending})"
+
+
+# ---------------------------------------------------------------------------
+# Threads
+# ---------------------------------------------------------------------------
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    DELAYED = "delayed"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class Thread:
+    """A cooperative thread of control managed by the :class:`Scheduler`.
+
+    Threads are created by :meth:`Scheduler.spawn`; user code never
+    instantiates this class directly.  The ``daemon`` flag marks service
+    threads (disk controllers, the cleaner, flush daemons) that are expected
+    to be blocked forever when a run ends; they are excluded from deadlock
+    accounting.
+    """
+
+    _counter = itertools.count(1)
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        generator: Generator[Any, Any, Any],
+        name: str,
+        daemon: bool = False,
+    ):
+        self.scheduler = scheduler
+        self.name = name
+        self.daemon = daemon
+        self.ident = next(Thread._counter)
+        self.state = ThreadState.NEW
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._generator = generator
+        self._send_value: Any = None
+        self._joiners: list[Thread] = []
+        self._waiting_on: Optional[Event] = None
+        #: time at which the thread became runnable/finished, for accounting.
+        self.finished_at: Optional[float] = None
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ThreadState.FINISHED, ThreadState.FAILED)
+
+    @property
+    def failed(self) -> bool:
+        return self.state is ThreadState.FAILED
+
+    # -- cooperation -----------------------------------------------------------
+
+    def join(self) -> Generator[Any, Any, Any]:
+        """Generator helper: wait until this thread terminates.
+
+        Returns the thread's result, or re-raises the exception that killed
+        it.  Usable from other threads as ``result = yield from t.join()``.
+        """
+        if self.alive:
+            current = self.scheduler.current_thread
+            if current is None:
+                raise SchedulerError("join() may only be used from inside a thread")
+            if current is self:
+                raise SchedulerError(f"thread {self.name!r} cannot join itself")
+            self._joiners.append(current)
+            current.state = ThreadState.BLOCKED
+            yield WaitEvent(_JOIN_SENTINEL)
+        if self.exception is not None:
+            raise self.exception
+        return self.result
+
+    # -- scheduler internals ----------------------------------------------------
+
+    def _wake(self, value: Any = None) -> None:
+        """Move a blocked/delayed thread back to the runnable set."""
+        if not self.alive:
+            return
+        self._send_value = value
+        self._waiting_on = None
+        self.scheduler._make_runnable(self)
+
+    def __repr__(self) -> str:
+        return f"Thread(#{self.ident} {self.name!r} {self.state.value})"
+
+
+class _JoinSentinelEvent(Event):
+    """Placeholder event for join(): the scheduler never registers waiters on
+    it because the joining thread is woken directly by thread completion."""
+
+    def _add_waiter(self, thread: "Thread") -> None:  # pragma: no cover - trivial
+        # Joiners are woken explicitly via Thread._joiners; nothing to do.
+        return
+
+
+_JOIN_SENTINEL = _JoinSentinelEvent(name="join-sentinel")
+
+
+# ---------------------------------------------------------------------------
+# Scheduling policies
+# ---------------------------------------------------------------------------
+
+
+class SchedulingPolicy(ABC):
+    """Chooses which runnable thread runs next.
+
+    The base framework ships random scheduling (the paper's default) and a
+    FIFO policy; real-time policies for continuous-media files would be
+    further derived classes.
+    """
+
+    @abstractmethod
+    def select(self, runnable: Sequence[Thread], rng: random.Random) -> int:
+        """Return the index of the thread to run next."""
+
+
+class RandomSchedulingPolicy(SchedulingPolicy):
+    """Pick a random runnable thread (the paper's default policy)."""
+
+    def select(self, runnable: Sequence[Thread], rng: random.Random) -> int:
+        return rng.randrange(len(runnable))
+
+
+class FifoSchedulingPolicy(SchedulingPolicy):
+    """Run threads in the order they became runnable (deterministic)."""
+
+    def select(self, runnable: Sequence[Thread], rng: random.Random) -> int:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# The scheduler proper
+# ---------------------------------------------------------------------------
+
+
+class Scheduler:
+    """Cooperative thread scheduler with real or virtual time.
+
+    Parameters
+    ----------
+    clock:
+        Time source; defaults to a fresh :class:`VirtualClock` (simulator
+        behaviour).  Pass a :class:`~repro.core.clock.RealClock` for an
+        on-line instantiation.
+    seed:
+        Seed for the random scheduling policy, so simulations are
+        reproducible run-to-run.
+    policy:
+        A :class:`SchedulingPolicy`; defaults to random scheduling.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        policy: Optional[SchedulingPolicy] = None,
+    ):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.rng = random.Random(seed)
+        self.policy = policy if policy is not None else RandomSchedulingPolicy()
+        self._runnable: list[Thread] = []
+        self._delayed: list[tuple[float, int, Thread]] = []
+        self._seq = itertools.count()
+        self._threads: list[Thread] = []
+        self._failures: list[Thread] = []
+        self.current_thread: Optional[Thread] = None
+        #: number of thread resumptions performed (context switches).
+        self.context_switches = 0
+
+    # -- time -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    def sleep(self, seconds: float) -> Generator[Any, Any, None]:
+        """Generator helper: ``yield from scheduler.sleep(t)``."""
+        yield Delay(seconds)
+
+    # -- thread management --------------------------------------------------------
+
+    def spawn(
+        self,
+        target: Callable[..., Generator[Any, Any, Any]] | Generator[Any, Any, Any],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        **kwargs: Any,
+    ) -> Thread:
+        """Create a new thread from a generator function (or generator).
+
+        The thread becomes runnable immediately; it first runs when the
+        scheduler next picks it.
+        """
+        if callable(target):
+            generator = target(*args, **kwargs)
+            default_name = getattr(target, "__name__", "thread")
+        else:
+            if args or kwargs:
+                raise SchedulerError("arguments are only valid with a callable target")
+            generator = target
+            default_name = getattr(target, "__name__", "thread")
+        if not isinstance(generator, Generator):
+            raise SchedulerError(
+                f"spawn() needs a generator function, got {type(generator).__name__}"
+            )
+        thread = Thread(self, generator, name or default_name, daemon=daemon)
+        self._threads.append(thread)
+        self._make_runnable(thread)
+        return thread
+
+    def new_event(self, name: str = "") -> Event:
+        """Create an :class:`Event` bound to this scheduler."""
+        return Event(self, name)
+
+    def signal(self, event: Event, value: Any = None) -> int:
+        """Signal ``event`` on behalf of code running outside any thread."""
+        return event.signal(value)
+
+    @property
+    def threads(self) -> tuple[Thread, ...]:
+        return tuple(self._threads)
+
+    @property
+    def failures(self) -> tuple[Thread, ...]:
+        return tuple(self._failures)
+
+    # -- the run loop ---------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        raise_failures: bool = True,
+    ) -> float:
+        """Run threads until nothing remains runnable or delayed.
+
+        ``until`` bounds (virtual or real) time: the scheduler stops once the
+        clock would pass it.  Returns the clock value when the run stopped.
+        """
+        steps = 0
+        while True:
+            if max_steps is not None and steps >= max_steps:
+                break
+            if until is not None and self.now >= until:
+                break
+            if self._runnable:
+                self._step()
+                steps += 1
+                continue
+            if self._delayed:
+                wake_time = self._delayed[0][0]
+                if until is not None and wake_time > until:
+                    self.clock.advance_to(until)
+                    break
+                self.clock.advance_to(wake_time)
+                self._release_expired()
+                continue
+            break
+        if raise_failures:
+            self._raise_pending_failure()
+        return self.now
+
+    def run_until_complete(self, thread: Thread, raise_failures: bool = True) -> Any:
+        """Drive the scheduler until ``thread`` terminates; return its result.
+
+        Raises :class:`DeadlockError` if the thread can never complete
+        because nothing is runnable or delayed.
+        """
+        while thread.alive:
+            if self._runnable:
+                self._step()
+            elif self._delayed:
+                self.clock.advance_to(self._delayed[0][0])
+                self._release_expired()
+            else:
+                blocked = [t.name for t in self._threads if t.alive and not t.daemon]
+                raise DeadlockError(
+                    f"thread {thread.name!r} cannot complete: no runnable or delayed "
+                    f"threads remain (blocked non-daemon threads: {blocked})"
+                )
+        if thread in self._failures:
+            self._failures.remove(thread)
+        if thread.exception is not None:
+            raise thread.exception
+        if raise_failures:
+            self._raise_pending_failure()
+        return thread.result
+
+    def run_all(self, threads: Iterable[Thread]) -> list[Any]:
+        """Run until every thread in ``threads`` has terminated."""
+        results = []
+        for thread in threads:
+            results.append(self.run_until_complete(thread))
+        return results
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _make_runnable(self, thread: Thread) -> None:
+        thread.state = ThreadState.RUNNABLE
+        self._runnable.append(thread)
+
+    def _release_expired(self) -> None:
+        now = self.now
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, thread = heapq.heappop(self._delayed)
+            if thread.alive and thread.state is ThreadState.DELAYED:
+                thread._send_value = None
+                self._make_runnable(thread)
+
+    def _step(self) -> None:
+        index = self.policy.select(self._runnable, self.rng)
+        thread = self._runnable.pop(index)
+        if not thread.alive:
+            return
+        self.current_thread = thread
+        thread.state = ThreadState.RUNNING
+        self.context_switches += 1
+        send_value, thread._send_value = thread._send_value, None
+        try:
+            command = thread._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(thread, result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - thread bodies may raise anything
+            self._finish(thread, exception=exc)
+            return
+        finally:
+            self.current_thread = None
+        self._dispatch(thread, command)
+
+    def _dispatch(self, thread: Thread, command: Any) -> None:
+        if isinstance(command, Delay):
+            thread.state = ThreadState.DELAYED
+            heapq.heappush(self._delayed, (self.now + command.seconds, next(self._seq), thread))
+        elif isinstance(command, WaitEvent):
+            consumed, value = command.event._consume_pending()
+            if consumed:
+                thread._send_value = value
+                self._make_runnable(thread)
+            else:
+                thread.state = ThreadState.BLOCKED
+                thread._waiting_on = command.event
+                command.event._add_waiter(thread)
+        elif isinstance(command, Reschedule) or command is None:
+            self._make_runnable(thread)
+        else:
+            error = SchedulerError(
+                f"thread {thread.name!r} yielded an unknown command: {command!r}"
+            )
+            self._finish(thread, exception=error)
+
+    def _finish(
+        self,
+        thread: Thread,
+        result: Any = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        thread.result = result
+        thread.exception = exception
+        thread.state = ThreadState.FAILED if exception is not None else ThreadState.FINISHED
+        thread.finished_at = self.now
+        joiners, thread._joiners = thread._joiners, []
+        if exception is not None and not joiners:
+            # Nobody is waiting to observe the failure; remember it so run()
+            # can surface it instead of silently dropping the error.
+            self._failures.append(thread)
+        for joiner in joiners:
+            joiner._wake(thread.result)
+
+    def _raise_pending_failure(self) -> None:
+        if not self._failures:
+            return
+        thread = self._failures.pop(0)
+        raise SchedulerError(
+            f"thread {thread.name!r} died with an unhandled exception"
+        ) from thread.exception

@@ -1,0 +1,80 @@
+"""A simple block allocator (bitmap with locality hints).
+
+Used by the FFS-like write-in-place layout.  The allocator hands out block
+addresses near a caller-provided hint so that logically adjacent file blocks
+tend to be physically adjacent — the property FFS relies on for sequential
+throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NoSpaceLeft, StorageError
+
+__all__ = ["BlockAllocator"]
+
+
+class BlockAllocator:
+    """Tracks free/allocated blocks in a contiguous address range."""
+
+    def __init__(self, first_block: int, num_blocks: int):
+        if num_blocks <= 0:
+            raise StorageError("allocator needs a positive number of blocks")
+        self.first_block = first_block
+        self.num_blocks = num_blocks
+        self._allocated = bytearray(num_blocks)  # 0 = free, 1 = allocated
+        self._free_count = num_blocks
+        self._rotor = 0
+
+    @property
+    def free_count(self) -> int:
+        return self._free_count
+
+    @property
+    def used_count(self) -> int:
+        return self.num_blocks - self._free_count
+
+    def is_allocated(self, address: int) -> bool:
+        return bool(self._allocated[self._index(address)])
+
+    def allocate(self, near: Optional[int] = None) -> int:
+        """Allocate one block, preferably close to ``near``."""
+        if self._free_count == 0:
+            raise NoSpaceLeft("block allocator exhausted")
+        start = self._index(near) if near is not None else self._rotor
+        start = min(max(start, 0), self.num_blocks - 1)
+        for offset in range(self.num_blocks):
+            index = (start + offset) % self.num_blocks
+            if not self._allocated[index]:
+                self._allocated[index] = 1
+                self._free_count -= 1
+                self._rotor = (index + 1) % self.num_blocks
+                return self.first_block + index
+        raise NoSpaceLeft("block allocator exhausted")  # pragma: no cover - guarded above
+
+    def allocate_at(self, address: int) -> None:
+        """Mark a specific block allocated (used when loading from disk)."""
+        index = self._index(address)
+        if not self._allocated[index]:
+            self._allocated[index] = 1
+            self._free_count -= 1
+
+    def free(self, address: int) -> None:
+        index = self._index(address)
+        if not self._allocated[index]:
+            raise StorageError(f"double free of block {address}")
+        self._allocated[index] = 0
+        self._free_count += 1
+
+    def _index(self, address: int) -> int:
+        index = address - self.first_block
+        if index < 0 or index >= self.num_blocks:
+            raise StorageError(
+                f"block {address} outside allocator range "
+                f"[{self.first_block}, {self.first_block + self.num_blocks})"
+            )
+        return index
+
+    def __repr__(self) -> str:
+        return f"BlockAllocator(free={self._free_count}/{self.num_blocks})"

@@ -1,0 +1,126 @@
+"""LFS log cleaners.
+
+"The log-cleaner can be replaced and is plugged into the LFS component when
+the system starts up."  A cleaner policy decides *which* segments to clean;
+the :class:`CleanerDaemon` is the thread that watches the free-segment level
+and invokes the policy, copying live blocks forward through the normal log
+append path (so cleaning generates ordinary disk traffic that shows up in
+the statistics, exactly as in a real LFS).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Optional, Sequence
+
+from repro.core.scheduler import Scheduler, Thread
+from repro.core.storage.lfs import LogStructuredLayout, SegmentInfo
+from repro.errors import ConfigurationError
+
+__all__ = ["SegmentCleaner", "GreedyCleaner", "CostBenefitCleaner", "CleanerDaemon", "make_cleaner"]
+
+
+class SegmentCleaner(ABC):
+    """Policy choosing which segment to clean next."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def choose(self, candidates: Sequence[SegmentInfo], now: float) -> Optional[SegmentInfo]:
+        """Pick the best segment to clean (None when nothing is worth it)."""
+
+
+class GreedyCleaner(SegmentCleaner):
+    """Clean the segment with the fewest live blocks."""
+
+    name = "greedy"
+
+    def choose(self, candidates: Sequence[SegmentInfo], now: float) -> Optional[SegmentInfo]:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda info: info.live_blocks)
+
+
+class CostBenefitCleaner(SegmentCleaner):
+    """Rosenblum & Ousterhout's cost-benefit policy.
+
+    Chooses the segment maximising ``(1 - u) * age / (1 + u)`` where ``u`` is
+    the segment utilisation and ``age`` the time since it was last written.
+    Old, mostly-empty segments are preferred; full, recently written segments
+    are left alone.
+    """
+
+    name = "cost-benefit"
+
+    def choose(self, candidates: Sequence[SegmentInfo], now: float) -> Optional[SegmentInfo]:
+        if not candidates:
+            return None
+
+        def benefit(info: SegmentInfo) -> float:
+            utilisation = info.utilisation
+            age = max(now - info.modified_at, 0.0)
+            return (1.0 - utilisation) * (age + 1.0) / (1.0 + utilisation)
+
+        return max(candidates, key=benefit)
+
+
+class CleanerDaemon:
+    """Background thread that keeps the LFS supplied with free segments."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        layout: LogStructuredLayout,
+        policy: SegmentCleaner,
+        low_water: float = 0.2,
+        high_water: float = 0.4,
+        check_interval: float = 5.0,
+    ):
+        if not (0.0 <= low_water < high_water <= 1.0):
+            raise ConfigurationError("cleaner water marks must satisfy 0 <= low < high <= 1")
+        self.scheduler = scheduler
+        self.layout = layout
+        self.policy = policy
+        self.low_water = low_water
+        self.high_water = high_water
+        self.check_interval = check_interval
+        self.segments_cleaned = 0
+        self.blocks_copied = 0
+        self.thread: Optional[Thread] = None
+
+    def start(self) -> Thread:
+        self.thread = self.scheduler.spawn(self._run, name="lfs-cleaner", daemon=True)
+        return self.thread
+
+    def _run(self) -> Generator[Any, Any, None]:
+        while True:
+            yield from self.scheduler.sleep(self.check_interval)
+            if self.layout.free_segment_fraction >= self.low_water:
+                continue
+            yield from self.clean_until(self.high_water)
+
+    def clean_until(self, target_fraction: float) -> Generator[Any, Any, int]:
+        """Clean segments until the free fraction reaches ``target_fraction``.
+
+        Returns the number of segments cleaned.  Also usable synchronously
+        (outside the daemon) by tests and by the layout when it runs short.
+        """
+        cleaned = 0
+        while self.layout.free_segment_fraction < target_fraction:
+            victim = self.policy.choose(self.layout.segment_infos(), self.scheduler.now)
+            if victim is None:
+                break
+            copied, _examined = yield from self.layout.clean_segment(victim.index)
+            cleaned += 1
+            self.segments_cleaned += 1
+            self.blocks_copied += copied
+        return cleaned
+
+
+def make_cleaner(name: str) -> SegmentCleaner:
+    """Factory keyed by ``LayoutConfig.cleaner_policy``."""
+    if name == "greedy":
+        return GreedyCleaner()
+    if name == "cost-benefit":
+        return CostBenefitCleaner()
+    raise ConfigurationError(f"unknown cleaner policy {name!r}")

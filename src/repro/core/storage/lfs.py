@@ -1,0 +1,553 @@
+"""A segmented log-structured file system layout (Sprite-LFS style).
+
+"Currently, we have implemented a segmented LFS.  This system stores
+file-system updates to the end of the log, and is able to find files through
+an IFILE.  The log-cleaner can be replaced and is plugged into the LFS
+component when the system starts up." (Section 2)
+
+On-disk layout (real instantiation):
+
+```
+block 0      superblock (points at the most recent checkpoint)
+block 1...   segments, each ``segment_blocks`` blocks long:
+             block 0 of a segment = segment summary
+             blocks 1..N-1        = log blocks (file data, inodes, checkpoints)
+```
+
+The inode map (the IFILE contents) maps inode numbers to the log address of
+the most recent copy of each inode; it is kept in memory and persisted in
+checkpoints, which are themselves appended to the log.
+
+A *simulated* LFS issues exactly the same disk traffic but serialises no
+data, and synthesises stable random addresses for file blocks it has never
+seen (trace replay touches files that existed before the trace started).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import defaultdict
+from typing import Any, Generator, Optional
+
+from repro.core import codec
+from repro.core.blocks import CacheBlock
+from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
+from repro.core.scheduler import Scheduler
+from repro.core.storage.layout import StorageLayout
+from repro.core.storage.volume import Volume
+from repro.core.sync import Mutex
+from repro.errors import NoSpaceLeft, StorageError
+from repro.units import DEFAULT_BLOCK_SIZE
+
+__all__ = ["LogStructuredLayout", "SegmentInfo"]
+
+
+class SegmentInfo:
+    """Cleaner-visible view of one segment."""
+
+    __slots__ = ("index", "live_blocks", "capacity", "modified_at")
+
+    def __init__(self, index: int, live_blocks: int, capacity: int, modified_at: float):
+        self.index = index
+        self.live_blocks = live_blocks
+        self.capacity = capacity
+        self.modified_at = modified_at
+
+    @property
+    def utilisation(self) -> float:
+        if self.capacity == 0:
+            return 1.0
+        return self.live_blocks / self.capacity
+
+    def __repr__(self) -> str:
+        return f"SegmentInfo(#{self.index} live={self.live_blocks}/{self.capacity})"
+
+
+class LogStructuredLayout(StorageLayout):
+    """Segmented log-structured layout."""
+
+    name = "lfs"
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        volume: Volume,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        segment_blocks: int = 64,
+        simulated: bool = False,
+        seed: int = 0,
+    ):
+        super().__init__(scheduler, volume, block_size, simulated=simulated, seed=seed)
+        if segment_blocks < 4:
+            raise StorageError("segments must hold at least 4 blocks")
+        self.segment_blocks = segment_blocks
+        # Segments are laid out per disk so a segment never straddles a disk
+        # boundary (one segment write is one disk operation).  Block 0 of the
+        # volume (on disk 0) is reserved for the superblock.
+        self._segment_starts: list[int] = []
+        for disk_index in range(volume.num_disks):
+            disk_blocks = volume.blocks_on_disk(disk_index)
+            start = disk_blocks.start + (1 if disk_index == 0 else 0)
+            usable = disk_blocks.stop - start
+            for segment in range(usable // segment_blocks):
+                self._segment_starts.append(start + segment * segment_blocks)
+        self.num_segments = len(self._segment_starts)
+        if self.num_segments < 2:
+            raise StorageError(
+                f"volume too small for LFS: {self.num_segments} segments of {segment_blocks} blocks"
+            )
+        # --- IFILE / inode map: inode number -> (log address, blocks) -------
+        self.inode_map: dict[int, tuple[int, int]] = {}
+        # --- segment accounting ------------------------------------------------
+        self.segment_usage: dict[int, int] = {s: 0 for s in range(self.num_segments)}
+        self.segment_mtime: dict[int, float] = {s: 0.0 for s in range(self.num_segments)}
+        self.segment_summaries: dict[int, list[tuple[int, int, bool]]] = defaultdict(list)
+        self.free_segments: set[int] = set(range(self.num_segments))
+        # --- in-core state -----------------------------------------------------
+        self.next_inode_number = ROOT_INODE_NUMBER
+        self._inode_objects: dict[int, Inode] = {}
+        self._active_segment: Optional[int] = None
+        self._active_offset = 1
+        self._append_lock: Optional[Mutex] = None
+        self._checkpoint_location: Optional[tuple[int, int]] = None
+        self._mounted = False
+        self._last_disk = -1
+
+    # ------------------------------------------------------------------ geometry helpers
+
+    def segment_start(self, segment: int) -> int:
+        return self._segment_starts[segment]
+
+    def segment_of(self, block_addr: int) -> int:
+        """Segment index containing ``block_addr``, or -1 if it lies outside
+        any segment (reserved blocks, end-of-disk slack)."""
+        index = bisect_right(self._segment_starts, block_addr) - 1
+        if index < 0:
+            return -1
+        if block_addr < self._segment_starts[index] + self.segment_blocks:
+            return index
+        return -1
+
+    @property
+    def free_segment_count(self) -> int:
+        return len(self.free_segments)
+
+    @property
+    def free_segment_fraction(self) -> float:
+        return self.free_segment_count / self.num_segments
+
+    @property
+    def free_blocks(self) -> int:
+        per_segment = self.segment_blocks - 1  # minus the summary block
+        live = sum(self.segment_usage[s] for s in range(self.num_segments))
+        return self.free_segment_count * per_segment + max(
+            0, (self.num_segments - self.free_segment_count) * per_segment - live
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def format(self) -> Generator[Any, Any, None]:
+        """Write an empty file system: a superblock with no checkpoint."""
+        self.inode_map.clear()
+        self._inode_objects.clear()
+        self.segment_usage = {s: 0 for s in range(self.num_segments)}
+        self.segment_summaries.clear()
+        self.free_segments = set(range(self.num_segments))
+        self.next_inode_number = ROOT_INODE_NUMBER
+        self._checkpoint_location = None
+        if not self.simulated:
+            superblock = codec.pack_superblock(
+                self.block_size, self.segment_blocks, self.volume.total_blocks, 0, 0
+            )
+            yield from self.volume.write_block(0, self._pad(superblock))
+            self.stats.disk_writes += 1
+
+    def mount(self) -> Generator[Any, Any, None]:
+        self._append_lock = Mutex(self.scheduler, "lfs-append")
+        if self.simulated:
+            self._mounted = True
+            self._activate_segment(self._pick_free_segment())
+            return
+        data = yield from self.volume.read_block(0)
+        self.stats.disk_reads += 1
+        if data is None:
+            raise StorageError("cannot mount a real LFS on a data-less volume")
+        superblock = codec.unpack_superblock(data)
+        if superblock["block_size"] != self.block_size:
+            raise StorageError(
+                f"volume was formatted with block size {superblock['block_size']}, "
+                f"mounted with {self.block_size}"
+            )
+        if superblock["checkpoint_addr"]:
+            yield from self._load_checkpoint(
+                superblock["checkpoint_addr"], superblock["checkpoint_blocks"]
+            )
+        self._mounted = True
+        self._activate_segment(self._pick_free_segment())
+
+    def _load_checkpoint(self, address: int, nblocks: int) -> Generator[Any, Any, None]:
+        raw = yield from self.volume.read_run(address, nblocks)
+        self.stats.disk_reads += 1
+        if raw is None:
+            raise StorageError("checkpoint read returned no data")
+        checkpoint = codec.unpack_checkpoint(raw)
+        self.inode_map = dict(checkpoint["inode_map"])
+        self.next_inode_number = checkpoint["next_inode_number"]
+        usage = checkpoint["segment_usage"]
+        self.segment_usage = {s: usage.get(s, 0) for s in range(self.num_segments)}
+        self.free_segments = {
+            s for s in range(self.num_segments) if self.segment_usage[s] == 0
+        }
+        self._checkpoint_location = (address, nblocks)
+        # Summaries of non-free segments are re-read lazily by the cleaner.
+        yield from self._reload_summaries()
+
+    def _reload_summaries(self) -> Generator[Any, Any, None]:
+        self.segment_summaries.clear()
+        for segment in range(self.num_segments):
+            if segment in self.free_segments:
+                continue
+            raw = yield from self.volume.read_block(self.segment_start(segment))
+            self.stats.disk_reads += 1
+            if raw is None:
+                continue
+            try:
+                entries = codec.unpack_segment_summary(raw)
+            except StorageError:
+                entries = []
+            self.segment_summaries[segment] = entries
+
+    def checkpoint(self) -> Generator[Any, Any, None]:
+        """Append a checkpoint to the log and point the superblock at it."""
+        if not self._mounted:
+            return
+        if self.simulated:
+            return
+        # Retire the previous checkpoint's blocks.
+        if self._checkpoint_location is not None:
+            old_addr, old_blocks = self._checkpoint_location
+            self._kill_blocks(old_addr, old_blocks)
+        payload = codec.pack_checkpoint(
+            timestamp=self.scheduler.now,
+            next_inode_number=self.next_inode_number,
+            next_segment=self._active_segment or 0,
+            inode_map=self.inode_map,
+            segment_usage={
+                s: self.segment_usage[s]
+                for s in range(self.num_segments)
+                if self.segment_usage[s] > 0 or s == self._active_segment
+            },
+        )
+        nblocks = max(1, -(-len(payload) // self.block_size))
+        chunks = self._chunk(payload, nblocks)
+        entries = [(0, i, False, chunk) for i, chunk in enumerate(chunks)]
+        addresses = yield from self._append(entries, contiguous=True)
+        self._checkpoint_location = (addresses[0], nblocks)
+        yield from self._write_active_summary()
+        superblock = codec.pack_superblock(
+            self.block_size,
+            self.segment_blocks,
+            self.volume.total_blocks,
+            addresses[0],
+            nblocks,
+        )
+        yield from self.volume.write_block(0, self._pad(superblock))
+        self.stats.disk_writes += 1
+
+    # ------------------------------------------------------------------ inodes
+
+    def allocate_inode(self, kind: FileKind) -> Inode:
+        number = self.next_inode_number
+        self.next_inode_number += 1
+        now = self.scheduler.now
+        inode = Inode(number=number, kind=kind, atime=now, mtime=now, ctime=now)
+        self._inode_objects[number] = inode
+        return inode
+
+    def known_inode_numbers(self) -> list[int]:
+        known = set(self.inode_map) | set(self._inode_objects)
+        return sorted(known)
+
+    def read_inode(self, inode_number: int) -> Generator[Any, Any, Inode]:
+        location = self.inode_map.get(inode_number)
+        if location is None:
+            inode = self._inode_objects.get(inode_number)
+            if inode is None:
+                raise StorageError(f"unknown inode {inode_number}")
+            return inode
+        address, nblocks = location
+        raw = yield from self.volume.read_run(address, nblocks)
+        self.stats.disk_reads += 1
+        self.stats.inodes_read += 1
+        if raw is None:
+            # Simulated system: the read charged time; return the in-core object.
+            inode = self._inode_objects.get(inode_number)
+            if inode is None:
+                raise StorageError(f"simulated LFS lost track of inode {inode_number}")
+            return inode
+        inode = codec.unpack_inode(raw)
+        self._inode_objects[inode_number] = inode
+        return inode
+
+    def write_inode(self, inode: Inode) -> Generator[Any, Any, None]:
+        self._inode_objects[inode.number] = inode
+        payload = codec.pack_inode(inode)
+        nblocks = max(1, -(-len(payload) // self.block_size))
+        old = self.inode_map.get(inode.number)
+        if old is not None:
+            self._kill_blocks(old[0], old[1])
+        chunks = self._chunk(payload, nblocks)
+        entries = [
+            (inode.number, index, True, chunk if not self.simulated else None)
+            for index, chunk in enumerate(chunks)
+        ]
+        addresses = yield from self._append(entries, contiguous=True)
+        self.inode_map[inode.number] = (addresses[0], nblocks)
+        self.stats.inodes_written += 1
+
+    def free_inode(self, inode: Inode) -> Generator[Any, Any, None]:
+        yield from self.release_blocks(inode, 0)
+        old = self.inode_map.pop(inode.number, None)
+        if old is not None:
+            self._kill_blocks(old[0], old[1])
+        self._inode_objects.pop(inode.number, None)
+
+    # ------------------------------------------------------------------ file data
+
+    def read_file_block(
+        self, inode: Inode, block_no: int, block: CacheBlock
+    ) -> Generator[Any, Any, bool]:
+        address = inode.get_block_address(block_no)
+        if address is None:
+            if not self.simulated:
+                return False  # a hole: caller sees zeros
+            address = self.synthesize_address(inode.number, block_no)
+        raw = yield from self.volume.read_run(address, 1)
+        self.stats.disk_reads += 1
+        self.stats.blocks_read += 1
+        if raw is not None and block.data is not None:
+            block.data[: len(raw)] = raw
+            block.valid_bytes = block.size
+        return True
+
+    def write_file_blocks(
+        self, inode: Inode, blocks: list[tuple[int, CacheBlock]]
+    ) -> Generator[Any, Any, None]:
+        if not blocks:
+            return
+        entries = []
+        for block_no, cache_block in sorted(blocks, key=lambda item: item[0]):
+            old_address = inode.get_block_address(block_no)
+            if old_address is not None and not self._is_synthetic(inode.number, block_no, old_address):
+                self._kill_blocks(old_address, 1)
+            entries.append((inode.number, block_no, False, self.block_payload(cache_block)))
+        addresses = yield from self._append(entries)
+        for (block_no, _cache_block), address in zip(
+            sorted(blocks, key=lambda item: item[0]), addresses
+        ):
+            inode.set_block_address(block_no, address)
+        self.stats.blocks_written += len(blocks)
+
+    def release_blocks(self, inode: Inode, from_block: int) -> Generator[Any, Any, None]:
+        for block_no in sorted(bn for bn in inode.block_map if bn >= from_block):
+            address = inode.block_map[block_no]
+            if not self._is_synthetic(inode.number, block_no, address):
+                self._kill_blocks(address, 1)
+        inode.drop_blocks_from(from_block)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    # ------------------------------------------------------------------ cleaner support
+
+    def segment_infos(self) -> list[SegmentInfo]:
+        """Candidate segments for cleaning (excludes free and active ones)."""
+        infos = []
+        for segment in range(self.num_segments):
+            if segment in self.free_segments or segment == self._active_segment:
+                continue
+            infos.append(
+                SegmentInfo(
+                    index=segment,
+                    live_blocks=self.segment_usage[segment],
+                    capacity=self.segment_blocks - 1,
+                    modified_at=self.segment_mtime[segment],
+                )
+            )
+        return infos
+
+    def clean_segment(self, segment: int) -> Generator[Any, Any, tuple[int, int]]:
+        """Copy the live blocks out of ``segment`` and mark it free.
+
+        Returns ``(blocks_copied, blocks_examined)``.
+        """
+        if segment in self.free_segments or segment == self._active_segment:
+            return (0, 0)
+        entries = list(self.segment_summaries.get(segment, []))
+        start = self.segment_start(segment)
+        copied = 0
+        for offset, (inode_number, logical_block, is_inode) in enumerate(entries, start=1):
+            address = start + offset
+            if not self._is_live(address, inode_number, logical_block, is_inode):
+                continue
+            raw = yield from self.volume.read_run(address, 1)
+            self.stats.disk_reads += 1
+            inode = self._inode_objects.get(inode_number)
+            if is_inode:
+                if inode is None:
+                    inode = yield from self.read_inode(inode_number)
+                # Rewriting the inode moves it to the head of the log.
+                yield from self.write_inode(inode)
+            else:
+                if inode is None:
+                    try:
+                        inode = yield from self.read_inode(inode_number)
+                    except StorageError:
+                        continue
+                payload = raw if raw is not None else None
+                new_address = yield from self._append(
+                    [(inode_number, logical_block, False, payload)]
+                )
+                self._kill_blocks(address, 1)
+                inode.set_block_address(logical_block, new_address[0])
+            copied += 1
+        self.segment_usage[segment] = 0
+        self.segment_mtime[segment] = self.scheduler.now
+        self.segment_summaries.pop(segment, None)
+        self.free_segments.add(segment)
+        self.stats.cleaner_segments_cleaned += 1
+        self.stats.cleaner_blocks_copied += copied
+        return (copied, len(entries))
+
+    def _is_live(self, address: int, inode_number: int, logical_block: int, is_inode: bool) -> bool:
+        if inode_number == 0:
+            # Checkpoint blocks: live only if this is the current checkpoint.
+            if self._checkpoint_location is None:
+                return False
+            start, count = self._checkpoint_location
+            return start <= address < start + count
+        if is_inode:
+            location = self.inode_map.get(inode_number)
+            if location is None:
+                return False
+            start, count = location
+            return start <= address < start + count
+        inode = self._inode_objects.get(inode_number)
+        if inode is None:
+            return inode_number in self.inode_map
+        return inode.get_block_address(logical_block) == address
+
+    # ------------------------------------------------------------------ the log
+
+    def _append(
+        self,
+        entries: list[tuple[int, int, bool, Optional[bytes]]],
+        contiguous: bool = False,
+    ) -> Generator[Any, Any, list[int]]:
+        """Append blocks to the log; returns the addresses used, in order.
+
+        Log-space reservation and metadata updates happen under the append
+        lock; the disk writes themselves are issued after the lock is
+        released, so concurrent flush threads can have several log writes
+        outstanding at the disks at once (as a real system would).
+        """
+        if not self._mounted:
+            raise StorageError("LFS is not mounted")
+        assert self._append_lock is not None
+        addresses: list[int] = []
+        writes: list[tuple[int, int, Optional[bytes]]] = []
+        yield from self._append_lock.acquire()
+        try:
+            remaining = list(entries)
+            if contiguous and len(remaining) > self.segment_blocks - 1:
+                raise StorageError("contiguous append larger than a segment")
+            while remaining:
+                space = self.segment_blocks - self._active_offset
+                if space <= 0 or (contiguous and space < len(remaining)):
+                    yield from self._finish_active_segment()
+                    continue
+                batch = remaining[:space]
+                remaining = remaining[space:]
+                first_address, payload = self._reserve_batch(batch)
+                addresses.extend(range(first_address, first_address + len(batch)))
+                writes.append((first_address, len(batch), payload))
+        finally:
+            self._append_lock.release()
+        for first_address, count, payload in writes:
+            yield from self.volume.write_run(first_address, count, payload)
+            self.stats.disk_writes += 1
+        return addresses
+
+    def _reserve_batch(
+        self, batch: list[tuple[int, int, bool, Optional[bytes]]]
+    ) -> tuple[int, Optional[bytes]]:
+        """Reserve log space for ``batch`` and update the in-memory metadata;
+        returns the first address and the serialised payload to write."""
+        assert self._active_segment is not None
+        segment = self._active_segment
+        first_address = self.segment_start(segment) + self._active_offset
+        payload: Optional[bytes]
+        if self.simulated:
+            payload = None
+        else:
+            parts = []
+            for _owner, _logical, _is_inode, data in batch:
+                parts.append(self._pad(data if data is not None else b""))
+            payload = b"".join(parts)
+        summary = self.segment_summaries[segment]
+        for owner, logical, is_inode, _data in batch:
+            summary.append((owner, logical, is_inode))
+        self.segment_usage[segment] += len(batch)
+        self.segment_mtime[segment] = self.scheduler.now
+        self._active_offset += len(batch)
+        return first_address, payload
+
+    def _finish_active_segment(self) -> Generator[Any, Any, None]:
+        yield from self._write_active_summary()
+        self._activate_segment(self._pick_free_segment())
+
+    def _write_active_summary(self) -> Generator[Any, Any, None]:
+        if self._active_segment is None or self.simulated:
+            return
+        segment = self._active_segment
+        summary = codec.pack_segment_summary(self.segment_summaries.get(segment, []))
+        yield from self.volume.write_block(self.segment_start(segment), self._pad(summary))
+        self.stats.disk_writes += 1
+
+    def _activate_segment(self, segment: int) -> None:
+        self.free_segments.discard(segment)
+        self._active_segment = segment
+        self._active_offset = 1
+        self.segment_summaries[segment] = []
+        self._last_disk = self.volume.disk_of(self.segment_start(segment))
+
+    def _pick_free_segment(self) -> int:
+        if not self.free_segments:
+            raise NoSpaceLeft("no free LFS segments left (cleaner cannot keep up)")
+        # Prefer a segment on a different disk from the last one so that
+        # consecutive segment writes can proceed in parallel.
+        candidates = sorted(self.free_segments)
+        for segment in candidates:
+            if self.volume.disk_of(self.segment_start(segment)) != self._last_disk:
+                return segment
+        return candidates[0]
+
+    # ------------------------------------------------------------------ helpers
+
+    def _kill_blocks(self, address: int, count: int) -> None:
+        for offset in range(count):
+            segment = self.segment_of(address + offset)
+            if 0 <= segment < self.num_segments and self.segment_usage[segment] > 0:
+                self.segment_usage[segment] -= 1
+
+    def _is_synthetic(self, inode_number: int, block_no: int, address: int) -> bool:
+        return self._synthetic_addresses.get((inode_number, block_no)) == address
+
+    def _chunk(self, payload: bytes, nblocks: int) -> list[bytes]:
+        return [
+            payload[i * self.block_size : (i + 1) * self.block_size] for i in range(nblocks)
+        ]
+
+    def _pad(self, data: bytes) -> bytes:
+        if len(data) > self.block_size:
+            raise StorageError(f"payload of {len(data)} bytes exceeds the block size")
+        return data + bytes(self.block_size - len(data))

@@ -1,0 +1,124 @@
+"""A volume: one logical block address space over one or more disk drivers.
+
+The traced Sprite server had fourteen file systems over ten disks; the
+framework models a machine as a set of disks (each with its own driver and
+queue) behind a volume that concatenates them into a single block address
+space.  The storage layout decides *where* blocks go; the volume translates
+block addresses to (driver, sector) and keeps runs of blocks on a single
+disk so that one logical write is one disk operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from repro.core.driver import DiskDriver, IORequest
+from repro.errors import DiskAddressError, StorageError
+from repro.units import DEFAULT_BLOCK_SIZE, SECTOR_SIZE
+
+__all__ = ["Volume"]
+
+
+class Volume:
+    """Block-granularity access to a set of disks."""
+
+    def __init__(self, drivers: Sequence[DiskDriver], block_size: int = DEFAULT_BLOCK_SIZE):
+        if not drivers:
+            raise StorageError("a volume needs at least one disk driver")
+        if block_size % SECTOR_SIZE != 0:
+            raise StorageError("block size must be a multiple of the sector size")
+        self.drivers = list(drivers)
+        self.block_size = block_size
+        self.sectors_per_block = block_size // SECTOR_SIZE
+        self._disk_blocks = [
+            driver.num_sectors // self.sectors_per_block for driver in self.drivers
+        ]
+        self._disk_starts: list[int] = []
+        start = 0
+        for nblocks in self._disk_blocks:
+            self._disk_starts.append(start)
+            start += nblocks
+        self.total_blocks = start
+
+    # -- address translation -------------------------------------------------
+
+    def disk_of(self, block_addr: int) -> int:
+        """Index of the disk holding ``block_addr``."""
+        self._check(block_addr, 1)
+        for index in range(len(self.drivers) - 1, -1, -1):
+            if block_addr >= self._disk_starts[index]:
+                return index
+        raise DiskAddressError(f"block address {block_addr} not on any disk")
+
+    def locate(self, block_addr: int) -> tuple[DiskDriver, int]:
+        """(driver, first sector) for a block address."""
+        index = self.disk_of(block_addr)
+        local_block = block_addr - self._disk_starts[index]
+        return self.drivers[index], local_block * self.sectors_per_block
+
+    def blocks_on_disk(self, disk_index: int) -> range:
+        """Block address range living on one disk."""
+        start = self._disk_starts[disk_index]
+        return range(start, start + self._disk_blocks[disk_index])
+
+    @property
+    def num_disks(self) -> int:
+        return len(self.drivers)
+
+    # -- I/O -------------------------------------------------------------------
+
+    def read_run(self, block_addr: int, nblocks: int = 1) -> Generator[Any, Any, Optional[bytes]]:
+        """Read ``nblocks`` contiguous blocks (must lie on one disk).
+
+        Returns the bytes read, or ``None`` when the underlying driver moves
+        no real data (simulated disks).
+        """
+        self._check(block_addr, nblocks)
+        self._check_single_disk(block_addr, nblocks)
+        driver, sector = self.locate(block_addr)
+        request: IORequest = yield from driver.read(sector, nblocks * self.sectors_per_block)
+        if request.data is None:
+            return None
+        return bytes(request.data)
+
+    def write_run(
+        self, block_addr: int, nblocks: int, data: Optional[bytes]
+    ) -> Generator[Any, Any, None]:
+        """Write ``nblocks`` contiguous blocks (must lie on one disk)."""
+        self._check(block_addr, nblocks)
+        self._check_single_disk(block_addr, nblocks)
+        if data is not None and len(data) != nblocks * self.block_size:
+            raise StorageError(
+                f"write_run data length {len(data)} != {nblocks} blocks of {self.block_size}"
+            )
+        driver, sector = self.locate(block_addr)
+        yield from driver.write(sector, nblocks * self.sectors_per_block, data)
+
+    def read_block(self, block_addr: int) -> Generator[Any, Any, Optional[bytes]]:
+        return (yield from self.read_run(block_addr, 1))
+
+    def write_block(self, block_addr: int, data: Optional[bytes]) -> Generator[Any, Any, None]:
+        yield from self.write_run(block_addr, 1, data)
+
+    def flush(self) -> Generator[Any, Any, None]:
+        """Wait for every disk queue to drain."""
+        for driver in self.drivers:
+            yield from driver.flush()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _check(self, block_addr: int, nblocks: int) -> None:
+        if block_addr < 0 or nblocks < 1 or block_addr + nblocks > self.total_blocks:
+            raise DiskAddressError(
+                f"block run [{block_addr}, {block_addr + nblocks}) outside volume "
+                f"of {self.total_blocks} blocks"
+            )
+
+    def _check_single_disk(self, block_addr: int, nblocks: int) -> None:
+        if self.disk_of(block_addr) != self.disk_of(block_addr + nblocks - 1):
+            raise StorageError(
+                f"block run [{block_addr}, {block_addr + nblocks}) crosses a disk boundary"
+            )
+
+    def __repr__(self) -> str:
+        return f"Volume(disks={len(self.drivers)}, blocks={self.total_blocks})"

@@ -1,0 +1,112 @@
+"""Exception hierarchy for the cut-and-paste file-system framework.
+
+Every error raised by the framework derives from :class:`ReproError`, so
+callers can catch framework errors without catching unrelated Python
+exceptions.  File-system level errors carry a POSIX-style ``errno`` name so
+that front-ends (the NFS-like interface in :mod:`repro.pfs.nfs`) can map them
+onto wire status codes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class SchedulerError(ReproError):
+    """Misuse of the thread scheduler (e.g. running a finished thread)."""
+
+
+class DeadlockError(SchedulerError):
+    """The scheduler ran out of runnable and delayed threads while work
+    was still outstanding."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class CacheError(ReproError):
+    """Block-cache invariant violation or misuse."""
+
+
+class CacheExhaustedError(CacheError):
+    """The cache cannot satisfy an allocation even after flushing."""
+
+
+class StorageError(ReproError):
+    """Storage-layout level error (bad address, corrupt metadata, ...)."""
+
+
+class DiskError(ReproError):
+    """Device-driver or disk-model level error."""
+
+
+class DiskAddressError(DiskError):
+    """An I/O request addressed a sector outside the disk."""
+
+
+class TraceError(ReproError):
+    """A trace file could not be parsed or replayed."""
+
+
+class FileSystemError(ReproError):
+    """Base class for errors visible through the client interface."""
+
+    #: POSIX-style errno name used by RPC front-ends.
+    errno_name = "EIO"
+
+
+class FileNotFound(FileSystemError):
+    """The named file or directory does not exist."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(FileSystemError):
+    """An exclusive create found an existing entry."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(FileSystemError):
+    """A path component that must be a directory is not one."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(FileSystemError):
+    """A data operation was attempted on a directory."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(FileSystemError):
+    """``rmdir`` was attempted on a non-empty directory."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class InvalidArgument(FileSystemError):
+    """A client supplied an out-of-range offset, bad name, etc."""
+
+    errno_name = "EINVAL"
+
+
+class NoSpaceLeft(FileSystemError):
+    """The storage layout ran out of free segments/blocks."""
+
+    errno_name = "ENOSPC"
+
+
+class StaleHandle(FileSystemError):
+    """A file handle refers to a file that has been removed."""
+
+    errno_name = "ESTALE"
+
+
+class PermissionDenied(FileSystemError):
+    """The operation is not permitted on this file type."""
+
+    errno_name = "EPERM"

@@ -1,0 +1,34 @@
+"""Patsy: the off-line, trace-driven file-system simulator.
+
+Patsy is "the instantiation of the cut-and-paste library to a file-system
+simulator combined with some helper components for off-line file-system
+simulation": simulated disk drivers and disks, the host/disk connection
+(a SCSI-2 bus), trace readers, synthetic workloads and plug-in statistics.
+"""
+
+from repro.patsy.bus import ScsiBus
+from repro.patsy.diskspec import DiskSpec, GENERIC_SMALL_DISK, HP97560
+from repro.patsy.simdisk import SimulatedDisk
+from repro.patsy.simdriver import SimulatedDiskDriver
+from repro.patsy.simulator import PatsySimulator, SimulationResult
+from repro.patsy.experiments import (
+    DelayedWriteExperiment,
+    EXPERIMENT_POLICIES,
+    run_delayed_write_experiment,
+    run_policy_comparison,
+)
+
+__all__ = [
+    "ScsiBus",
+    "DiskSpec",
+    "HP97560",
+    "GENERIC_SMALL_DISK",
+    "SimulatedDisk",
+    "SimulatedDiskDriver",
+    "PatsySimulator",
+    "SimulationResult",
+    "DelayedWriteExperiment",
+    "EXPERIMENT_POLICIES",
+    "run_delayed_write_experiment",
+    "run_policy_comparison",
+]

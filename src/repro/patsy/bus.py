@@ -1,0 +1,84 @@
+"""The host/disk connection: a SCSI-2 bus model.
+
+"Connections are the links between the host and the disk sub-system ...
+They also arbitrate if there is more than one controller that wants to send
+data over the same connection to simulate connection contention (e.g. SCSI
+bus contention)."  The model allows multiple disks per bus, charges an
+arbitration/selection overhead per transfer, and moves data at the SCSI-2
+sustained rate (10 MB/s in the paper).  Disconnect/reconnect is modelled by
+the fact that the bus is only held during command and data transfers, not
+while the disk is seeking or rotating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.scheduler import Scheduler
+from repro.core.sync import Resource
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+__all__ = ["ScsiBus"]
+
+
+class ScsiBus:
+    """A shared connection between the host and a set of disks."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str = "scsi0",
+        bandwidth: float = 10 * MB,
+        arbitration_overhead: float = 0.0002,
+    ):
+        if bandwidth <= 0:
+            raise ConfigurationError("bus bandwidth must be positive")
+        if arbitration_overhead < 0:
+            raise ConfigurationError("bus overhead cannot be negative")
+        self.scheduler = scheduler
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.arbitration_overhead = arbitration_overhead
+        self._resource = Resource(scheduler, capacity=1, name=name)
+        self.bytes_transferred = 0
+        self.transfers = 0
+        self.busy_time = 0.0
+
+    # -- timing ------------------------------------------------------------------
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.arbitration_overhead + nbytes / self.bandwidth
+
+    # -- use --------------------------------------------------------------------------
+
+    def transfer(self, nbytes: int) -> Generator[Any, Any, None]:
+        """Hold the bus long enough to move ``nbytes`` (plus arbitration)."""
+        yield from self._resource.acquire()
+        started = self.scheduler.now
+        try:
+            yield from self.scheduler.sleep(self.transfer_time(nbytes))
+        finally:
+            self.busy_time += self.scheduler.now - started
+            self._resource.release()
+        self.bytes_transferred += nbytes
+        self.transfers += 1
+
+    # -- statistics ---------------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    @property
+    def mean_wait_time(self) -> float:
+        return self._resource.mean_wait_time
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the bus was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_time / elapsed, 1.0)
+
+    def __repr__(self) -> str:
+        return f"ScsiBus({self.name!r}, transfers={self.transfers})"

@@ -1,0 +1,307 @@
+"""The Patsy simulator: trace replay over a fully simulated file system.
+
+This is the "general simulation class" of Section 4: it owns the simulated
+hardware (disks, buses), the file-system components instantiated from the
+cut-and-paste library (cache, storage layout, client interface), the trace
+replay threads ("clients are modeled by separate threads of control"), and
+the measurement machinery ("this class measures how long it takes before an
+operation completes; the measurements are shown every 15 minutes of
+simulation time and of the overall simulation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence
+
+from repro.config import SimulationConfig, small_test_config
+from repro.core.cache import BlockCache
+from repro.core.client import AbstractClientInterface
+from repro.core.clock import VirtualClock
+from repro.core.datamover import DataMover
+from repro.core.filesystem import FileSystem
+from repro.core.flush import make_flush_policy
+from repro.core.iosched import make_io_scheduler
+from repro.core.scheduler import Scheduler
+from repro.core.storage.cleaner import CleanerDaemon, make_cleaner
+from repro.core.storage.ffs import FfsLikeLayout
+from repro.core.storage.lfs import LogStructuredLayout
+from repro.core.storage.volume import Volume
+from repro.errors import FileSystemError, TraceError
+from repro.patsy.bus import ScsiBus
+from repro.patsy.diskspec import disk_spec_by_name
+from repro.patsy.simdisk import SimulatedDisk
+from repro.patsy.simdriver import SimulatedDiskDriver
+from repro.patsy.stats import DEFAULT_PLUGINS, LatencyRecorder, StatisticsPlugin
+from repro.patsy.traces import TraceRecord, records_by_client
+
+__all__ = ["PatsySimulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one simulation run."""
+
+    trace_name: str = ""
+    policy_name: str = ""
+    simulated_time: float = 0.0
+    operations: int = 0
+    errors: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    plugin_reports: Dict[str, Any] = field(default_factory=dict)
+    #: dirty blocks that died in memory and never cost a disk write.
+    write_savings_blocks: int = 0
+    blocks_written_to_disk: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency.mean_latency()
+
+    def cdf(self, op: Optional[str] = None) -> List[tuple[float, float]]:
+        return self.latency.cdf(op)
+
+    def summary(self) -> dict:
+        return {
+            "trace": self.trace_name,
+            "policy": self.policy_name,
+            "simulated_time": self.simulated_time,
+            "operations": self.operations,
+            "errors": self.errors,
+            "mean_latency": self.mean_latency,
+            "median_latency": self.latency.percentile(0.5),
+            "p95_latency": self.latency.percentile(0.95),
+            "cache_hit_rate": self.cache_stats.get("hit_rate", 0.0),
+            "write_savings_blocks": self.write_savings_blocks,
+            "blocks_written_to_disk": self.blocks_written_to_disk,
+        }
+
+
+class PatsySimulator:
+    """A complete off-line file-system simulator instantiated from the library."""
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        plugins: Optional[Iterable[type]] = None,
+    ):
+        self.config = config if config is not None else small_test_config()
+        cfg = self.config
+        self.scheduler = Scheduler(clock=VirtualClock(), seed=cfg.seed)
+
+        # --- simulated hardware: buses, disks, drivers ------------------------
+        host = cfg.host
+        spec = disk_spec_by_name(host.disk_model)
+        self.buses: List[ScsiBus] = [
+            ScsiBus(
+                self.scheduler,
+                name=f"scsi{i}",
+                bandwidth=host.bus_bandwidth,
+                arbitration_overhead=host.bus_overhead,
+            )
+            for i in range(host.num_buses)
+        ]
+        self.disks: List[SimulatedDisk] = []
+        self.drivers: List[SimulatedDiskDriver] = []
+        for index in range(host.num_disks):
+            bus = self.buses[host.bus_for_disk(index)]
+            disk = SimulatedDisk(self.scheduler, spec, bus, name=f"disk{index}")
+            driver = SimulatedDiskDriver(
+                self.scheduler,
+                disk,
+                bus,
+                name=f"sim-disk{index}",
+                io_scheduler=make_io_scheduler(host.io_scheduler),
+            )
+            self.disks.append(disk)
+            self.drivers.append(driver)
+
+        # --- file-system components from the cut-and-paste library --------------
+        self.volume = Volume(self.drivers, block_size=cfg.cache.block_size)
+        self.layout = self._build_layout()
+        self.cache = BlockCache(self.scheduler, cfg.cache, with_data=False)
+        self.datamover = DataMover(charge_time=True, bandwidth=host.memory_copy_bandwidth)
+        self.flush_policy = make_flush_policy(cfg.flush)
+        cleaner = None
+        if isinstance(self.layout, LogStructuredLayout):
+            cleaner = CleanerDaemon(
+                self.scheduler,
+                self.layout,
+                make_cleaner(cfg.layout.cleaner_policy),
+                low_water=cfg.layout.cleaner_low_water,
+                high_water=cfg.layout.cleaner_high_water,
+            )
+        self.fs = FileSystem(
+            self.scheduler,
+            self.cache,
+            self.layout,
+            self.datamover,
+            flush_policy=self.flush_policy,
+            cleaner=cleaner,
+        )
+        self.client = AbstractClientInterface(self.fs, auto_materialize=True)
+
+        # --- measurement -----------------------------------------------------------
+        self.latency = LatencyRecorder(report_interval=cfg.report_interval)
+        self.plugins: List[StatisticsPlugin] = [cls() for cls in (plugins or DEFAULT_PLUGINS)]
+        self.errors = 0
+        self._mounted = False
+
+    # ------------------------------------------------------------------ construction helpers
+
+    def _build_layout(self):
+        cfg = self.config
+        if cfg.layout.kind == "lfs":
+            return LogStructuredLayout(
+                self.scheduler,
+                self.volume,
+                block_size=cfg.cache.block_size,
+                segment_blocks=max(cfg.layout.segment_size // cfg.cache.block_size, 4),
+                simulated=True,
+                seed=cfg.seed,
+            )
+        return FfsLikeLayout(
+            self.scheduler,
+            self.volume,
+            block_size=cfg.cache.block_size,
+            simulated=True,
+            seed=cfg.seed,
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def mount(self) -> None:
+        """Mount the simulated file system (idempotent)."""
+        if self._mounted:
+            return
+        thread = self.scheduler.spawn(self.fs.mount, False, name="mount")
+        self.scheduler.run_until_complete(thread)
+        self._mounted = True
+
+    # ------------------------------------------------------------------ replay
+
+    def replay(
+        self,
+        records: Sequence[TraceRecord],
+        trace_name: str = "",
+        max_time: Optional[float] = None,
+    ) -> SimulationResult:
+        """Replay a trace and return the measurements."""
+        if not records:
+            raise TraceError("cannot replay an empty trace")
+        self.mount()
+        limit = max_time if max_time is not None else self.config.max_simulated_time
+        streams = records_by_client(records)
+        threads = [
+            self.scheduler.spawn(
+                self._client_thread, client, stream, limit, name=f"client-{client}"
+            )
+            for client, stream in sorted(streams.items())
+        ]
+        for thread in threads:
+            self.scheduler.run_until_complete(thread)
+        self.latency.finish()
+        return self.build_result(trace_name)
+
+    def run_operations(self, records: Sequence[TraceRecord]) -> SimulationResult:
+        """Convenience wrapper used by tests: replay and return the result."""
+        return self.replay(records)
+
+    def _client_thread(
+        self, client: int, records: List[TraceRecord], max_time: Optional[float]
+    ) -> Generator[Any, Any, None]:
+        handles: Dict[str, int] = {}
+        for record in records:
+            if max_time is not None and record.timestamp > max_time:
+                break
+            delay = record.timestamp - self.scheduler.now
+            if delay > 0:
+                yield from self.scheduler.sleep(delay)
+            started = self.scheduler.now
+            try:
+                yield from self._execute(record, handles)
+            except FileSystemError:
+                self.errors += 1
+            self.latency.record(started, record.op, self.scheduler.now - started, client)
+        # Close anything the trace left open.
+        for path, handle in list(handles.items()):
+            try:
+                yield from self.client.close(handle)
+            except FileSystemError:
+                self.errors += 1
+            handles.pop(path, None)
+
+    def _execute(self, record: TraceRecord, handles: Dict[str, int]) -> Generator[Any, Any, None]:
+        client = self.client
+        op = record.op
+        path = record.path
+        if op == "open":
+            if path not in handles:
+                handles[path] = yield from client.open(path, create=True)
+        elif op == "close":
+            handle = handles.pop(path, None)
+            if handle is not None:
+                yield from client.close(handle)
+        elif op == "create":
+            if path not in handles:
+                handles[path] = yield from client.create(path, exclusive=False)
+        elif op == "read":
+            handle = handles.get(path)
+            if handle is not None:
+                yield from client.read(handle, record.offset, record.size)
+            else:
+                yield from client.read_file(path, record.offset, record.size)
+        elif op == "write":
+            handle = handles.get(path)
+            if handle is not None:
+                yield from client.write(handle, record.offset, length=record.size)
+            else:
+                yield from client.write_file(path, record.offset, length=record.size)
+        elif op == "truncate":
+            yield from client.truncate_path(path, record.size)
+        elif op == "unlink":
+            yield from client.unlink(path)
+        elif op == "mkdir":
+            yield from client.mkdir(path)
+        elif op == "rmdir":
+            yield from client.rmdir(path)
+        elif op == "stat":
+            yield from client.stat(path)
+        elif op == "readdir":
+            yield from client.readdir(path)
+        elif op == "rename":
+            yield from client.rename(path, record.path2)
+        elif op == "symlink":
+            yield from client.symlink(record.path2 or "/", path)
+        elif op == "fsync":
+            handle = handles.get(path)
+            if handle is not None:
+                yield from client.fsync(handle)
+            else:
+                yield from client.sync()
+        else:  # pragma: no cover - TraceRecord validates operations
+            raise TraceError(f"unsupported trace operation {op!r}")
+
+    # ------------------------------------------------------------------ results
+
+    def build_result(self, trace_name: str = "") -> SimulationResult:
+        reports = {}
+        for plugin in self.plugins:
+            reports[plugin.name] = plugin.collect(self)
+        result = SimulationResult(
+            trace_name=trace_name,
+            policy_name=self.config.flush.policy,
+            simulated_time=self.scheduler.now,
+            operations=self.latency.count,
+            errors=self.errors,
+            latency=self.latency,
+            cache_stats=self.cache.stats.snapshot(),
+            plugin_reports=reports,
+            write_savings_blocks=self.cache.stats.dirty_blocks_discarded,
+            blocks_written_to_disk=self.cache.stats.blocks_written,
+        )
+        return result
+
+    def collect_statistics(self) -> Dict[str, Any]:
+        """All plug-in reports (without building a full result object)."""
+        return {plugin.name: plugin.collect(self) for plugin in self.plugins}

@@ -1,0 +1,330 @@
+"""Plug-in statistics objects.
+
+"Detailed internal measurements are provided by plug-in statistics objects.
+These plug-in statistics can be activated when the simulator is started and
+they can provide standard statistics output with or without histograms.
+Some of the standard detailed statistics objects include histograms of disk
+queue sizes, cache statistics, and disk rotational delay statistics."
+
+The plug-ins below read counters that the core components already maintain
+(driver queue samples, disk model rotational delays, cache statistics, bus
+contention) and turn them into report dictionaries and ASCII histograms.
+The :class:`LatencyRecorder` is the "general simulation class" measurement
+store: per-operation latencies, means, percentiles and CDFs, reported every
+15 minutes of simulation time and for the whole run.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import InvalidArgument
+from repro.units import human_time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.patsy.simulator import PatsySimulator
+
+__all__ = [
+    "Histogram",
+    "LatencyRecorder",
+    "OperationSample",
+    "StatisticsPlugin",
+    "DiskQueuePlugin",
+    "RotationalDelayPlugin",
+    "CachePlugin",
+    "BusPlugin",
+    "DEFAULT_PLUGINS",
+]
+
+
+class Histogram:
+    """A fixed-bucket histogram (linear or logarithmic buckets)."""
+
+    def __init__(
+        self,
+        bucket_bounds: Optional[Sequence[float]] = None,
+        low: float = 0.0,
+        high: float = 1.0,
+        buckets: int = 20,
+        log_scale: bool = False,
+    ):
+        if bucket_bounds is not None:
+            bounds = list(bucket_bounds)
+            if sorted(bounds) != bounds or len(bounds) < 1:
+                raise InvalidArgument("histogram bucket bounds must be sorted and non-empty")
+            self.bounds = bounds
+        elif log_scale:
+            if low <= 0:
+                raise InvalidArgument("log-scale histograms need a positive lower bound")
+            ratio = (high / low) ** (1.0 / buckets)
+            self.bounds = [low * ratio**i for i in range(1, buckets + 1)]
+        else:
+            step = (high - low) / buckets
+            self.bounds = [low + step * i for i in range(1, buckets + 1)]
+        self.counts = [0] * (len(self.bounds) + 1)  # last bucket = overflow
+        self.total = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        index = bisect_right(self.bounds, value)
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def add_all(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def bucket_fractions(self) -> List[float]:
+        if self.total == 0:
+            return [0.0] * len(self.counts)
+        return [count / self.total for count in self.counts]
+
+    def to_ascii(self, width: int = 40, label: str = "") -> str:
+        """Render the histogram as text (one row per bucket)."""
+        lines = [f"histogram {label} (n={self.total}, mean={self.mean:.6g})"]
+        peak = max(self.counts) if self.total else 1
+        lower = 0.0
+        for index, count in enumerate(self.counts):
+            if index < len(self.bounds):
+                upper_text = f"{self.bounds[index]:.4g}"
+            else:
+                upper_text = "inf"
+            bar = "#" * int(round(width * count / peak)) if peak else ""
+            lines.append(f"  [{lower:>10.4g}, {upper_text:>10}) {count:>8} {bar}")
+            if index < len(self.bounds):
+                lower = self.bounds[index]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OperationSample:
+    """One measured operation: when it started, what it was, how long it took."""
+
+    start_time: float
+    op: str
+    latency: float
+    client: int = 0
+
+
+class LatencyRecorder:
+    """Collects per-operation latencies and summarises them.
+
+    This is the measurement half of the paper's "general simulation class":
+    it "measures how long it takes before an operation completes", reports
+    every 15 minutes of simulation time, and for the overall simulation.
+    """
+
+    def __init__(self, report_interval: float = 900.0):
+        self.report_interval = report_interval
+        self.samples: List[OperationSample] = []
+        self.interval_reports: List[dict] = []
+        self._interval_start = 0.0
+        self._interval_samples: List[OperationSample] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, start_time: float, op: str, latency: float, client: int = 0) -> None:
+        sample = OperationSample(start_time=start_time, op=op, latency=latency, client=client)
+        self.samples.append(sample)
+        while start_time >= self._interval_start + self.report_interval:
+            self._close_interval()
+        self._interval_samples.append(sample)
+
+    def finish(self) -> None:
+        """Close the trailing reporting interval."""
+        if self._interval_samples:
+            self._close_interval()
+
+    def _close_interval(self) -> None:
+        samples = self._interval_samples
+        report = {
+            "start": self._interval_start,
+            "end": self._interval_start + self.report_interval,
+            "operations": len(samples),
+            "mean_latency": _mean([s.latency for s in samples]),
+        }
+        self.interval_reports.append(report)
+        self._interval_samples = []
+        self._interval_start += self.report_interval
+
+    # -- summaries ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def latencies(self, op: Optional[str] = None) -> List[float]:
+        if op is None:
+            return [sample.latency for sample in self.samples]
+        return [sample.latency for sample in self.samples if sample.op == op]
+
+    def mean_latency(self, op: Optional[str] = None) -> float:
+        return _mean(self.latencies(op))
+
+    def percentile(self, fraction: float, op: Optional[str] = None) -> float:
+        values = sorted(self.latencies(op))
+        if not values:
+            return 0.0
+        if not (0.0 <= fraction <= 1.0):
+            raise InvalidArgument("percentile fraction must be in [0, 1]")
+        index = min(int(math.ceil(fraction * len(values))) - 1, len(values) - 1)
+        return values[max(index, 0)]
+
+    def cdf(self, op: Optional[str] = None, points: int = 200) -> List[tuple[float, float]]:
+        """(latency, cumulative fraction) pairs for plotting a CDF."""
+        values = sorted(self.latencies(op))
+        if not values:
+            return []
+        if len(values) <= points:
+            return [(value, (i + 1) / len(values)) for i, value in enumerate(values)]
+        step = len(values) / points
+        result = []
+        for i in range(points):
+            index = min(int((i + 1) * step) - 1, len(values) - 1)
+            result.append((values[index], (index + 1) / len(values)))
+        return result
+
+    def fraction_completed_within(self, latency: float, op: Optional[str] = None) -> float:
+        values = self.latencies(op)
+        if not values:
+            return 0.0
+        return sum(1 for value in values if value <= latency) / len(values)
+
+    def per_operation_means(self) -> Dict[str, float]:
+        ops = sorted({sample.op for sample in self.samples})
+        return {op: self.mean_latency(op) for op in ops}
+
+    def summary(self) -> dict:
+        return {
+            "operations": self.count,
+            "mean_latency": self.mean_latency(),
+            "median_latency": self.percentile(0.5),
+            "p95_latency": self.percentile(0.95),
+            "p99_latency": self.percentile(0.99),
+            "per_operation": self.per_operation_means(),
+        }
+
+    def describe(self) -> str:
+        summary = self.summary()
+        lines = [
+            f"operations: {summary['operations']}",
+            f"mean latency: {human_time(summary['mean_latency'])}",
+            f"median latency: {human_time(summary['median_latency'])}",
+            f"95th percentile: {human_time(summary['p95_latency'])}",
+        ]
+        for op, mean in summary["per_operation"].items():
+            lines.append(f"  {op:>10}: {human_time(mean)}")
+        return "\n".join(lines)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+# --------------------------------------------------------------------------- plug-ins
+
+
+class StatisticsPlugin(ABC):
+    """A pluggable statistics collector activated when the simulator starts."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def collect(self, simulator: "PatsySimulator") -> dict:
+        """Produce this plug-in's report from the simulator's components."""
+
+    def histogram(self, simulator: "PatsySimulator") -> Optional[Histogram]:
+        """Optional histogram view (None when not applicable)."""
+        return None
+
+
+class DiskQueuePlugin(StatisticsPlugin):
+    """Histogram of disk queue lengths seen by arriving requests."""
+
+    name = "disk-queues"
+
+    def collect(self, simulator: "PatsySimulator") -> dict:
+        per_disk = {}
+        for driver in simulator.drivers:
+            samples = driver.stats.queue_length_samples
+            per_disk[driver.name] = {
+                "operations": driver.stats.operations,
+                "mean_queue_length": driver.stats.mean_queue_length(),
+                "max_queue_length": max(samples) if samples else 0,
+                "mean_response_time": driver.stats.mean_response_time(),
+            }
+        return {"disks": per_disk}
+
+    def histogram(self, simulator: "PatsySimulator") -> Histogram:
+        histogram = Histogram(bucket_bounds=[0, 1, 2, 4, 8, 16, 32, 64])
+        for driver in simulator.drivers:
+            histogram.add_all(driver.stats.queue_length_samples)
+        return histogram
+
+
+class RotationalDelayPlugin(StatisticsPlugin):
+    """Histogram of rotational delays charged by the disk models."""
+
+    name = "rotational-delay"
+
+    def collect(self, simulator: "PatsySimulator") -> dict:
+        per_disk = {}
+        for disk in simulator.disks:
+            per_disk[disk.name] = {
+                "requests": disk.stats.requests,
+                "cache_read_hits": disk.stats.cache_read_hits,
+                "immediate_writes": disk.stats.immediate_writes,
+                "mean_rotational_delay": disk.stats.mean_rotational_delay(),
+                "total_seek_time": disk.stats.total_seek_time,
+            }
+        return {"disks": per_disk}
+
+    def histogram(self, simulator: "PatsySimulator") -> Histogram:
+        rotation = simulator.disks[0].spec.rotation_time if simulator.disks else 0.015
+        histogram = Histogram(low=0.0, high=rotation, buckets=15)
+        for disk in simulator.disks:
+            histogram.add_all(disk.stats.rotational_delays)
+        return histogram
+
+
+class CachePlugin(StatisticsPlugin):
+    """File-system cache statistics (hit rates, write savings, stalls)."""
+
+    name = "cache"
+
+    def collect(self, simulator: "PatsySimulator") -> dict:
+        return {"cache": simulator.cache.stats.snapshot()}
+
+
+class BusPlugin(StatisticsPlugin):
+    """SCSI bus utilisation and contention."""
+
+    name = "bus"
+
+    def collect(self, simulator: "PatsySimulator") -> dict:
+        elapsed = max(simulator.scheduler.now, 1e-9)
+        buses = {}
+        for bus in simulator.buses:
+            buses[bus.name] = {
+                "transfers": bus.transfers,
+                "bytes": bus.bytes_transferred,
+                "utilisation": bus.utilisation(elapsed),
+                "mean_wait_time": bus.mean_wait_time,
+            }
+        return {"buses": buses}
+
+
+DEFAULT_PLUGINS = (DiskQueuePlugin, RotationalDelayPlugin, CachePlugin, BusPlugin)

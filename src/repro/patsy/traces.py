@@ -1,0 +1,265 @@
+"""File-system traces: records, readers, writers and grouping.
+
+"File-system traces are collections of records that describe all the
+activity of a real file-system at some time.  These records specify when the
+operation took place (usually down to the microsecond), and which
+file-system operation was executed."
+
+The original experiments replayed the Berkeley Sprite traces and the CMU
+Coda traces; neither can be redistributed here, so this module defines a
+small, explicit on-disk trace format (tab-separated text) plus readers for
+Sprite-like and Coda-like encodings (:mod:`repro.patsy.sprite`,
+:mod:`repro.patsy.coda`) and the synthetic generators in
+:mod:`repro.patsy.workload` produce the same records.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, TextIO, Union
+
+from repro.errors import TraceError
+
+__all__ = [
+    "TraceRecord",
+    "TRACE_OPERATIONS",
+    "TraceWriter",
+    "TraceReader",
+    "load_trace",
+    "save_trace",
+    "records_by_client",
+    "group_operations",
+    "OperationGroup",
+    "trace_duration",
+    "operation_mix",
+    "synthesize_missing_times",
+]
+
+#: operations understood by the replayer.
+TRACE_OPERATIONS = frozenset(
+    {
+        "open",
+        "close",
+        "read",
+        "write",
+        "create",
+        "unlink",
+        "truncate",
+        "mkdir",
+        "rmdir",
+        "stat",
+        "readdir",
+        "rename",
+        "symlink",
+        "fsync",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced file-system operation."""
+
+    timestamp: float
+    client: int
+    op: str
+    path: str
+    offset: int = 0
+    size: int = 0
+    path2: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in TRACE_OPERATIONS:
+            raise TraceError(f"unknown trace operation {self.op!r}")
+        if self.timestamp < 0:
+            raise TraceError("trace timestamps must be non-negative")
+        if self.offset < 0 or self.size < 0:
+            raise TraceError("trace offsets and sizes must be non-negative")
+
+    def shifted(self, delta: float) -> "TraceRecord":
+        """A copy of this record with its timestamp shifted by ``delta``."""
+        return replace(self, timestamp=self.timestamp + delta)
+
+
+# --------------------------------------------------------------------------- text format
+
+
+class TraceWriter:
+    """Writes trace records as tab-separated text, one record per line."""
+
+    HEADER = "# repro-trace v1: timestamp\tclient\top\tpath\toffset\tsize\tpath2"
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self.stream.write(self.HEADER + "\n")
+        self.records_written = 0
+
+    def write(self, record: TraceRecord) -> None:
+        self.stream.write(
+            f"{record.timestamp:.6f}\t{record.client}\t{record.op}\t{record.path}\t"
+            f"{record.offset}\t{record.size}\t{record.path2}\n"
+        )
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[TraceRecord]) -> int:
+        for record in records:
+            self.write(record)
+        return self.records_written
+
+
+class TraceReader:
+    """Reads the tab-separated trace format produced by :class:`TraceWriter`."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for line_number, line in enumerate(self.stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield self.parse_line(line, line_number)
+
+    @staticmethod
+    def parse_line(line: str, line_number: int = 0) -> TraceRecord:
+        fields = line.split("\t")
+        if len(fields) < 6:
+            raise TraceError(f"trace line {line_number}: expected at least 6 fields, got {len(fields)}")
+        try:
+            return TraceRecord(
+                timestamp=float(fields[0]),
+                client=int(fields[1]),
+                op=fields[2],
+                path=fields[3],
+                offset=int(fields[4]),
+                size=int(fields[5]),
+                path2=fields[6] if len(fields) > 6 else "",
+            )
+        except (ValueError, TraceError) as exc:
+            raise TraceError(f"trace line {line_number}: {exc}") from exc
+
+
+def save_trace(records: Iterable[TraceRecord], path: Union[str, Path]) -> int:
+    """Write records to ``path``; returns the number of records written."""
+    with open(path, "w", encoding="utf-8") as stream:
+        writer = TraceWriter(stream)
+        return writer.write_all(records)
+
+
+def load_trace(source: Union[str, Path, TextIO]) -> list[TraceRecord]:
+    """Load every record from a path or open text stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            return list(TraceReader(stream))
+    if isinstance(source, io.TextIOBase) or hasattr(source, "read"):
+        return list(TraceReader(source))
+    raise TraceError(f"cannot load a trace from {type(source).__name__}")
+
+
+# --------------------------------------------------------------------------- analysis helpers
+
+
+def records_by_client(records: Sequence[TraceRecord]) -> dict[int, list[TraceRecord]]:
+    """Split a trace into per-client streams, each sorted by time."""
+    streams: dict[int, list[TraceRecord]] = {}
+    for record in records:
+        streams.setdefault(record.client, []).append(record)
+    for stream in streams.values():
+        stream.sort(key=lambda record: record.timestamp)
+    return streams
+
+
+def trace_duration(records: Sequence[TraceRecord]) -> float:
+    if not records:
+        return 0.0
+    times = [record.timestamp for record in records]
+    return max(times) - min(times)
+
+
+def operation_mix(records: Sequence[TraceRecord]) -> dict[str, int]:
+    mix: dict[str, int] = {}
+    for record in records:
+        mix[record.op] = mix.get(record.op, 0) + 1
+    return mix
+
+
+@dataclass
+class OperationGroup:
+    """A group of operations that obviously belong together.
+
+    The replayer threads "read a part of the trace file, group operations
+    that obviously belong together (such as an open, read, read, write, ...,
+    close sequence), and call the abstract-client interface to execute the
+    operation on the simulated system."
+    """
+
+    client: int
+    path: str
+    records: list[TraceRecord] = field(default_factory=list)
+
+    @property
+    def start_time(self) -> float:
+        return self.records[0].timestamp if self.records else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.records[-1].timestamp if self.records else 0.0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def group_operations(records: Sequence[TraceRecord]) -> list[OperationGroup]:
+    """Group per-client open..close sequences on the same path.
+
+    Operations outside any open..close bracket become single-record groups.
+    """
+    groups: list[OperationGroup] = []
+    open_groups: dict[tuple[int, str], OperationGroup] = {}
+    for record in sorted(records, key=lambda r: (r.timestamp, r.client)):
+        key = (record.client, record.path)
+        if record.op == "open":
+            group = OperationGroup(client=record.client, path=record.path, records=[record])
+            open_groups[key] = group
+            groups.append(group)
+        elif key in open_groups:
+            open_groups[key].records.append(record)
+            if record.op == "close":
+                del open_groups[key]
+        else:
+            groups.append(
+                OperationGroup(client=record.client, path=record.path, records=[record])
+            )
+    return groups
+
+
+def synthesize_missing_times(records: Sequence[TraceRecord]) -> list[TraceRecord]:
+    """Position read/write operations with no recorded time (timestamp equal
+    to the enclosing open) equidistantly between the open and the close,
+    which is what the paper does when "the actual time a read or write
+    operation took place" is missing."""
+    result: list[TraceRecord] = []
+    for group in group_operations(records):
+        body = group.records
+        if len(body) < 3 or body[0].op != "open" or body[-1].op != "close":
+            result.extend(body)
+            continue
+        open_time = body[0].timestamp
+        close_time = body[-1].timestamp
+        inner = body[1:-1]
+        missing = [r for r in inner if r.timestamp == open_time]
+        if not missing or close_time <= open_time:
+            result.extend(body)
+            continue
+        step = (close_time - open_time) / (len(inner) + 1)
+        result.append(body[0])
+        for index, record in enumerate(inner, start=1):
+            if record.timestamp == open_time:
+                result.append(record.shifted(step * index))
+            else:
+                result.append(record)
+        result.append(body[-1])
+    result.sort(key=lambda record: record.timestamp)
+    return result

@@ -1,0 +1,25 @@
+"""PFS: the on-line Pegasus File-System instantiation.
+
+"The base components in the cut-and-paste library do not make up a complete
+system: they lack interfaces to the environment.  To complete such a system,
+helper components are added ... the system needs a real user interface, a
+PFS client interface and it requires a real disk-driver to access a real
+disk."  Here the helpers are a file- or memory-backed disk driver that moves
+real bytes, a synchronous facade (:class:`PegasusFileSystem`) and an
+NFS-style front-end (:mod:`repro.pfs.nfs`).
+"""
+
+from repro.pfs.diskfile import FileBackedDiskDriver, MemoryBackedDiskDriver
+from repro.pfs.filesystem import PegasusFileSystem
+from repro.pfs.nfs import NfsClientInterface, NfsLoopbackClient, NfsProcedure, NfsServer, NfsStatus
+
+__all__ = [
+    "FileBackedDiskDriver",
+    "MemoryBackedDiskDriver",
+    "PegasusFileSystem",
+    "NfsClientInterface",
+    "NfsLoopbackClient",
+    "NfsProcedure",
+    "NfsServer",
+    "NfsStatus",
+]

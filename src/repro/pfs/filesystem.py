@@ -1,0 +1,277 @@
+"""The Pegasus File-System: a synchronous facade over the framework.
+
+A PFS instance wires the shared components (cache, LFS or FFS layout, flush
+policy, cleaner) on top of a *real* disk back-end that moves real bytes —
+either an in-memory store or an ordinary Unix file, as in the paper.  The
+facade drives the cooperative scheduler to completion for every call, so
+ordinary Python code (and the NFS front-end) can use the file system without
+knowing about threads or generators.
+
+The same algorithm objects that ran inside Patsy run here unchanged; only
+the helper components underneath differ.  That is the paper's central point:
+"we did not have to change anything in the code except for some small
+additions when data was actually moved."
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Generator, Optional, Union
+
+from repro.config import CacheConfig, FlushConfig, LayoutConfig
+from repro.core.cache import BlockCache
+from repro.core.client import AbstractClientInterface
+from repro.core.clock import RealClock, VirtualClock
+from repro.core.datamover import DataMover
+from repro.core.filesystem import FileSystem
+from repro.core.flush import make_flush_policy
+from repro.core.inode import FileKind
+from repro.core.iosched import make_io_scheduler
+from repro.core.scheduler import Scheduler
+from repro.core.storage.cleaner import CleanerDaemon, make_cleaner
+from repro.core.storage.ffs import FfsLikeLayout
+from repro.core.storage.lfs import LogStructuredLayout
+from repro.core.storage.volume import Volume
+from repro.pfs.diskfile import FileBackedDiskDriver, MemoryBackedDiskDriver
+from repro.units import MB
+
+__all__ = ["PegasusFileSystem"]
+
+
+class PegasusFileSystem:
+    """An on-line file system storing real data.
+
+    Parameters
+    ----------
+    backing:
+        ``None`` for an in-memory disk, or a path to the Unix file used as
+        the disk back-end.
+    size_bytes:
+        Capacity of the backing store.
+    cache, flush, layout:
+        Component configurations (framework defaults when omitted).
+    real_time:
+        Use wall-clock time instead of virtual time.  Virtual time is the
+        default: the same code runs, but tests and examples finish instantly.
+    """
+
+    def __init__(
+        self,
+        backing: Optional[Union[str, Path]] = None,
+        size_bytes: int = 64 * MB,
+        cache: Optional[CacheConfig] = None,
+        flush: Optional[FlushConfig] = None,
+        layout: Optional[LayoutConfig] = None,
+        real_time: bool = False,
+        io_scheduler: str = "clook",
+        seed: int = 0,
+    ):
+        self.cache_config = cache if cache is not None else CacheConfig(size_bytes=2 * MB)
+        self.flush_config = flush if flush is not None else FlushConfig(policy="periodic")
+        self.layout_config = layout if layout is not None else LayoutConfig()
+        clock = RealClock() if real_time else VirtualClock()
+        self.scheduler = Scheduler(clock=clock, seed=seed)
+
+        if backing is None:
+            self.driver = MemoryBackedDiskDriver(
+                self.scheduler, size_bytes=size_bytes, io_scheduler=make_io_scheduler(io_scheduler)
+            )
+        else:
+            self.driver = FileBackedDiskDriver(
+                self.scheduler,
+                backing,
+                size_bytes=size_bytes,
+                io_scheduler=make_io_scheduler(io_scheduler),
+            )
+        self.volume = Volume([self.driver], block_size=self.cache_config.block_size)
+        self.layout = self._build_layout(seed)
+        self.cache = BlockCache(self.scheduler, self.cache_config, with_data=True)
+        self.datamover = DataMover(charge_time=False)
+        self.flush_policy = make_flush_policy(self.flush_config)
+        cleaner = None
+        if isinstance(self.layout, LogStructuredLayout):
+            cleaner = CleanerDaemon(
+                self.scheduler,
+                self.layout,
+                make_cleaner(self.layout_config.cleaner_policy),
+                low_water=self.layout_config.cleaner_low_water,
+                high_water=self.layout_config.cleaner_high_water,
+            )
+        self.fs = FileSystem(
+            self.scheduler,
+            self.cache,
+            self.layout,
+            self.datamover,
+            flush_policy=self.flush_policy,
+            cleaner=cleaner,
+        )
+        self.client = AbstractClientInterface(self.fs, auto_materialize=False)
+        self._mounted = False
+
+    def _build_layout(self, seed: int):
+        if self.layout_config.kind == "lfs":
+            return LogStructuredLayout(
+                self.scheduler,
+                self.volume,
+                block_size=self.cache_config.block_size,
+                segment_blocks=max(
+                    self.layout_config.segment_size // self.cache_config.block_size, 4
+                ),
+                simulated=False,
+                seed=seed,
+            )
+        return FfsLikeLayout(
+            self.scheduler,
+            self.volume,
+            block_size=self.cache_config.block_size,
+            simulated=False,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------ scheduler plumbing
+
+    def run(self, target: Callable[..., Generator[Any, Any, Any]], *args: Any, **kwargs: Any) -> Any:
+        """Run one framework operation to completion and return its result."""
+        thread = self.scheduler.spawn(target, *args, name=getattr(target, "__name__", "op"), **kwargs)
+        return self.scheduler.run_until_complete(thread)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def format(self) -> None:
+        """Create an empty file system on the backing store and mount it."""
+        self.run(self.fs.mount, True)
+        self._mounted = True
+
+    def mount(self) -> None:
+        """Mount an existing file system from the backing store."""
+        self.run(self.fs.mount, False)
+        self._mounted = True
+
+    def unmount(self) -> None:
+        """Flush everything and write a checkpoint."""
+        self.run(self.fs.unmount)
+        self._mounted = False
+
+    def sync(self) -> int:
+        """Flush all dirty data; returns the number of blocks written."""
+        return self.run(self.fs.sync)
+
+    @property
+    def mounted(self) -> bool:
+        return self._mounted
+
+    # ------------------------------------------------------------------ file operations
+
+    def create(self, path: str) -> None:
+        handle = self.run(self.client.create, path)
+        self.run(self.client.close, handle)
+
+    def write_file(self, path: str, data: bytes, offset: int = 0) -> int:
+        return self.run(self.client.write_file, path, offset, data)
+
+    def read_file(self, path: str, offset: int = 0, length: Optional[int] = None) -> bytes:
+        if length is None:
+            length = self.stat(path)["size"] - offset
+        if length <= 0:
+            return b""
+        return self.run(self.client.read_file, path, offset, length)
+
+    def append(self, path: str, data: bytes) -> int:
+        size = self.stat(path)["size"] if self.exists(path) else 0
+        return self.run(self.client.write_file, path, size, data)
+
+    def truncate(self, path: str, new_size: int) -> None:
+        self.run(self.client.truncate_path, path, new_size)
+
+    def delete(self, path: str) -> None:
+        self.run(self.client.unlink, path)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        self.run(self.client.rename, old_path, new_path)
+
+    def stat(self, path: str) -> Dict[str, Any]:
+        return self.run(self.client.stat, path)
+
+    def exists(self, path: str) -> bool:
+        return self.run(self.client.exists, path)
+
+    # ------------------------------------------------------------------ directories & links
+
+    def mkdir(self, path: str) -> None:
+        self.run(self.client.mkdir, path)
+
+    def makedirs(self, path: str) -> None:
+        """Create a directory and any missing parents."""
+        parts = [p for p in path.split("/") if p]
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            if not self.exists(current):
+                self.mkdir(current)
+
+    def rmdir(self, path: str) -> None:
+        self.run(self.client.rmdir, path)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        entries = self.run(self.client.readdir, path)
+        return sorted(entries)
+
+    def symlink(self, target: str, path: str) -> None:
+        self.run(self.client.symlink, target, path)
+
+    def readlink(self, path: str) -> str:
+        return self.run(self.client.readlink, path)
+
+    # ------------------------------------------------------------------ handle-based interface
+
+    def open(self, path: str, create: bool = False) -> int:
+        return self.run(self.client.open, path, create)
+
+    def close(self, handle: int) -> None:
+        self.run(self.client.close, handle)
+
+    def read(self, handle: int, offset: int, length: int) -> bytes:
+        return self.run(self.client.read, handle, offset, length)
+
+    def write(self, handle: int, offset: int, data: bytes) -> int:
+        return self.run(self.client.write, handle, offset, data)
+
+    def fsync(self, handle: int) -> int:
+        return self.run(self.client.fsync, handle)
+
+    def create_multimedia(self, path: str) -> int:
+        """Create/open a continuous-media file (demonstrates per-type policy)."""
+        return self.run(self.client.open_multimedia, path)
+
+    # ------------------------------------------------------------------ introspection
+
+    def statistics(self) -> Dict[str, Any]:
+        """Cache, layout and driver statistics for monitoring."""
+        return {
+            "cache": self.cache.stats.snapshot(),
+            "layout": {
+                "disk_reads": self.layout.stats.disk_reads,
+                "disk_writes": self.layout.stats.disk_writes,
+                "blocks_written": self.layout.stats.blocks_written,
+                "free_blocks": self.layout.free_blocks,
+            },
+            "driver": {
+                "reads": self.driver.stats.reads,
+                "writes": self.driver.stats.writes,
+                "mean_queue_length": self.driver.stats.mean_queue_length(),
+            },
+            "open_files": self.fs.file_table.open_count,
+            "loaded_files": self.fs.file_table.loaded_count,
+        }
+
+    def close_backing(self) -> None:
+        """Release the backing file (file-backed instances only)."""
+        close = getattr(self.driver, "close", None)
+        if callable(close):
+            close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PegasusFileSystem(layout={self.layout.name}, mounted={self._mounted}, "
+            f"capacity={self.volume.total_blocks} blocks)"
+        )

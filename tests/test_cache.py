@@ -1,0 +1,275 @@
+"""The block cache: allocation, LRU lists, dirty tracking, flushing."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.core.blocks import BlockState
+from repro.core.cache import BlockCache
+from repro.core.scheduler import Delay
+from repro.errors import CacheError
+from tests.conftest import run
+
+
+def make_cache(scheduler, blocks=8, with_data=False, replacement="lru"):
+    config = CacheConfig(size_bytes=blocks * 4096, block_size=4096, replacement=replacement)
+    cache = BlockCache(scheduler, config, with_data=with_data)
+    written = []
+
+    def writeback(file_id, block_nos):
+        written.append((file_id, tuple(block_nos)))
+        yield Delay(0.005)
+
+    cache.writeback = writeback
+    cache.written_log = written
+    return cache
+
+
+def test_geometry(scheduler):
+    cache = make_cache(scheduler, blocks=8)
+    assert cache.num_blocks == 8
+    assert cache.free_count == 8
+    assert cache.clean_count == 0
+    assert cache.dirty_count == 0
+
+
+def test_allocate_and_lookup(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        block = yield from cache.allocate(1, 0)
+        return block
+
+    block = run(scheduler, body)
+    assert block.state is BlockState.CLEAN
+    assert cache.contains(1, 0)
+    assert cache.lookup(1, 0) is block
+    assert cache.lookup(1, 99) is None
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_double_allocate_rejected(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        yield from cache.allocate(1, 0)
+        yield from cache.allocate(1, 0)
+
+    with pytest.raises(CacheError):
+        run(scheduler, body)
+
+
+def test_mark_dirty_and_clean(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        block = yield from cache.allocate(1, 0)
+        yield from cache.mark_dirty(block)
+        return block
+
+    block = run(scheduler, body)
+    assert block.is_dirty
+    assert cache.dirty_count == 1
+    assert cache.stats.blocks_dirtied == 1
+    cache.mark_clean(block)
+    assert block.is_clean
+    assert cache.dirty_count == 0
+    assert cache.clean_count == 1
+
+
+def test_eviction_reuses_lru_clean_block(scheduler):
+    cache = make_cache(scheduler, blocks=4)
+
+    def fill():
+        for i in range(4):
+            yield from cache.allocate(1, i)
+        # Touch block 0 so block 1 becomes the LRU candidate.
+        cache.lookup(1, 0)
+        yield from cache.allocate(1, 100)
+
+    run(scheduler, fill)
+    assert cache.stats.evictions == 1
+    assert cache.contains(1, 0)
+    assert not cache.contains(1, 1)
+    assert cache.contains(1, 100)
+
+
+def test_allocation_forces_flush_when_all_dirty(scheduler):
+    cache = make_cache(scheduler, blocks=4)
+
+    def body():
+        for i in range(4):
+            block = yield from cache.allocate(9, i)
+            yield from cache.mark_dirty(block)
+        # Cache is now entirely dirty; this allocation must trigger a flush.
+        yield from cache.allocate(9, 100)
+
+    run(scheduler, body)
+    assert cache.written_log, "a writeback should have happened"
+    assert cache.stats.blocks_written >= 1
+    assert cache.contains(9, 100)
+
+
+def test_flush_file_groups_blocks(scheduler):
+    cache = make_cache(scheduler, blocks=8)
+
+    def body():
+        for i in range(3):
+            block = yield from cache.allocate(5, i)
+            yield from cache.mark_dirty(block)
+        other = yield from cache.allocate(6, 0)
+        yield from cache.mark_dirty(other)
+        flushed = yield from cache.flush_file(5)
+        return flushed
+
+    assert run(scheduler, body) == 3
+    assert cache.written_log == [(5, (0, 1, 2))]
+    assert cache.dirty_count == 1  # file 6 still dirty
+
+
+def test_flush_all(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        for file_id in (1, 2):
+            for i in range(2):
+                block = yield from cache.allocate(file_id, i)
+                yield from cache.mark_dirty(block)
+        return (yield from cache.flush_all())
+
+    assert run(scheduler, body) == 4
+    assert cache.dirty_count == 0
+
+
+def test_flush_oldest_whole_file(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        a = yield from cache.allocate(1, 0)
+        yield from cache.mark_dirty(a)
+        yield Delay(1.0)
+        b = yield from cache.allocate(2, 0)
+        yield from cache.mark_dirty(b)
+        return (yield from cache.flush_oldest(whole_file=True))
+
+    assert run(scheduler, body) == 1
+    assert cache.written_log == [(1, (0,))]
+
+
+def test_invalidate_file_counts_write_savings(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        for i in range(3):
+            block = yield from cache.allocate(7, i)
+            yield from cache.mark_dirty(block)
+        clean = yield from cache.allocate(7, 3)
+        return cache.invalidate_file(7)
+
+    clean_dropped, dirty_dropped = run(scheduler, body)
+    assert dirty_dropped == 3
+    assert clean_dropped == 1
+    assert cache.stats.dirty_blocks_discarded == 3
+    assert cache.free_count == cache.num_blocks
+
+
+def test_invalidate_file_partial_truncate(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        for i in range(4):
+            block = yield from cache.allocate(7, i)
+            yield from cache.mark_dirty(block)
+        return cache.invalidate_file(7, from_block=2)
+
+    _, dirty_dropped = run(scheduler, body)
+    assert dirty_dropped == 2
+    assert cache.contains(7, 0) and cache.contains(7, 1)
+    assert not cache.contains(7, 2)
+
+
+def test_nvram_dirty_limit_stalls_and_drains(scheduler):
+    cache = make_cache(scheduler, blocks=8)
+    cache.dirty_limit_bytes = 2 * 4096  # at most two dirty blocks
+    cache.drain_whole_file = False
+
+    def body():
+        for i in range(4):
+            block = yield from cache.allocate(3, i)
+            yield from cache.mark_dirty(block)
+        return cache.dirty_count
+
+    dirty = run(scheduler, body)
+    assert dirty <= 2
+    assert cache.stats.nvram_stalls >= 1
+    assert cache.stats.blocks_written >= 2
+
+
+def test_oldest_dirty_age(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        block = yield from cache.allocate(1, 0)
+        yield from cache.mark_dirty(block)
+        yield Delay(12.0)
+        return cache.oldest_dirty_age()
+
+    assert run(scheduler, body) == pytest.approx(12.0)
+    assert cache.oldest_dirty() is not None
+
+
+def test_dirty_files_ordering(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        for file_id in (4, 2, 9):
+            block = yield from cache.allocate(file_id, 0)
+            yield from cache.mark_dirty(block)
+            yield Delay(0.1)
+
+    run(scheduler, body)
+    assert cache.dirty_files() == [4, 2, 9]
+
+
+def test_writeback_requires_registration(scheduler):
+    config = CacheConfig(size_bytes=4 * 4096)
+    cache = BlockCache(scheduler, config, with_data=False)
+
+    def body():
+        block = yield from cache.allocate(1, 0)
+        yield from cache.mark_dirty(block)
+        yield from cache.flush_block(block)
+
+    with pytest.raises(CacheError):
+        run(scheduler, body)
+
+
+def test_has_allocatable_slot(scheduler):
+    cache = make_cache(scheduler, blocks=2)
+    assert cache.has_allocatable_slot()
+
+    def body():
+        for i in range(2):
+            block = yield from cache.allocate(1, i)
+            yield from cache.mark_dirty(block)
+
+    run(scheduler, body)
+    assert not cache.has_allocatable_slot()
+
+
+def test_stats_snapshot_keys(scheduler):
+    cache = make_cache(scheduler)
+    snapshot = cache.stats.snapshot()
+    for key in ("hits", "misses", "hit_rate", "blocks_written", "dirty_blocks_discarded"):
+        assert key in snapshot
+
+
+def test_hit_rate(scheduler):
+    cache = make_cache(scheduler)
+
+    def body():
+        yield from cache.allocate(1, 0)
+
+    run(scheduler, body)
+    cache.lookup(1, 0)
+    cache.lookup(1, 1)
+    assert cache.stats.hit_rate == pytest.approx(0.5)

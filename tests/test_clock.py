@@ -1,0 +1,61 @@
+"""Clocks: virtual and real time sources."""
+
+from repro.core.clock import RealClock, VirtualClock
+
+
+def test_virtual_clock_starts_at_zero():
+    clock = VirtualClock()
+    assert clock.now() == 0.0
+    assert clock.is_virtual
+
+
+def test_virtual_clock_custom_start():
+    clock = VirtualClock(start=10.0)
+    assert clock.now() == 10.0
+
+
+def test_virtual_clock_advances_forward_only():
+    clock = VirtualClock()
+    clock.advance_to(5.0)
+    assert clock.now() == 5.0
+    clock.advance_to(3.0)  # never goes backwards
+    assert clock.now() == 5.0
+    clock.advance_to(6.5)
+    assert clock.now() == 6.5
+
+
+def test_real_clock_uses_monotonic_offset():
+    fake_time = {"now": 100.0}
+    slept = []
+
+    def monotonic():
+        return fake_time["now"]
+
+    def sleep(seconds):
+        slept.append(seconds)
+        fake_time["now"] += seconds
+
+    clock = RealClock(sleep=sleep, monotonic=monotonic)
+    assert clock.now() == 0.0
+    assert not clock.is_virtual
+    fake_time["now"] = 101.5
+    assert abs(clock.now() - 1.5) < 1e-9
+
+
+def test_real_clock_advance_sleeps_remaining_time():
+    fake_time = {"now": 0.0}
+    slept = []
+
+    def monotonic():
+        return fake_time["now"]
+
+    def sleep(seconds):
+        slept.append(seconds)
+        fake_time["now"] += seconds
+
+    clock = RealClock(sleep=sleep, monotonic=monotonic)
+    clock.advance_to(2.0)
+    assert slept and abs(slept[0] - 2.0) < 1e-9
+    # Advancing to a time in the past sleeps nothing.
+    clock.advance_to(1.0)
+    assert len(slept) == 1

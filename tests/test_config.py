@@ -1,0 +1,82 @@
+"""Configuration objects and their validation."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    FlushConfig,
+    HostConfig,
+    LayoutConfig,
+    SimulationConfig,
+    small_test_config,
+    sprite_server_config,
+)
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+def test_cache_config_defaults_and_blocks():
+    config = CacheConfig(size_bytes=8 * MB)
+    assert config.num_blocks == 2048
+    assert config.replacement == "lru"
+
+
+def test_cache_config_validation():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(size_bytes=100, block_size=4096)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(replacement="mru")
+    with pytest.raises(ConfigurationError):
+        CacheConfig(block_size=0)
+
+
+def test_flush_config_validation():
+    with pytest.raises(ConfigurationError):
+        FlushConfig(policy="never")
+    with pytest.raises(ConfigurationError):
+        FlushConfig(nvram_bytes=0)
+    assert FlushConfig(policy="nvram", whole_file=False).whole_file is False
+
+
+def test_layout_config_validation():
+    with pytest.raises(ConfigurationError):
+        LayoutConfig(kind="zfs")
+    with pytest.raises(ConfigurationError):
+        LayoutConfig(cleaner_low_water=0.9, cleaner_high_water=0.5)
+    with pytest.raises(ConfigurationError):
+        LayoutConfig(cleaner_policy="oracular")
+
+
+def test_host_config_validation_and_bus_mapping():
+    host = HostConfig(num_disks=10, num_buses=3)
+    assert host.bus_for_disk(0) == 0
+    assert host.bus_for_disk(4) == 1
+    assert host.bus_for_disk(5) == 2
+    with pytest.raises(ConfigurationError):
+        HostConfig(num_disks=1, num_buses=2)
+    with pytest.raises(ConfigurationError):
+        HostConfig(io_scheduler="random")
+
+
+def test_simulation_config_with_flush():
+    config = small_test_config()
+    replaced = config.with_flush(FlushConfig(policy="ups"))
+    assert replaced.flush.policy == "ups"
+    assert replaced.cache == config.cache
+
+
+def test_sprite_server_config_scaling():
+    full = sprite_server_config(scale=1.0)
+    assert full.cache.size_bytes == 128 * MB
+    assert full.flush.nvram_bytes == 4 * MB
+    assert full.host.num_disks == 10 and full.host.num_buses == 3
+    half = sprite_server_config(scale=0.5)
+    assert half.cache.size_bytes == 64 * MB
+    with pytest.raises(ConfigurationError):
+        sprite_server_config(scale=0.0)
+
+
+def test_small_test_config_is_small():
+    config = small_test_config()
+    assert config.cache.num_blocks == 64
+    assert config.host.num_disks == 1

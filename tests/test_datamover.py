@@ -1,0 +1,86 @@
+"""The data mover: real copies vs. simulated time charges."""
+
+import pytest
+
+from repro.core.blocks import CacheBlock
+from repro.core.datamover import DataMover
+from repro.errors import InvalidArgument
+from tests.conftest import run
+
+
+def test_copy_in_and_out_real_data(scheduler):
+    mover = DataMover(charge_time=False)
+    block = CacheBlock(0, 4096, with_data=True)
+
+    def body():
+        yield from mover.copy_in(block, 10, b"hello")
+        return (yield from mover.copy_out(block, 10, 5))
+
+    assert run(scheduler, body) == b"hello"
+    assert mover.bytes_copied == 10
+    assert scheduler.now == 0.0  # no time charged
+
+
+def test_copy_charges_time_in_simulator(scheduler):
+    mover = DataMover(charge_time=True, bandwidth=1024)
+    block = CacheBlock(0, 4096, with_data=False)
+
+    def body():
+        yield from mover.copy_in(block, 0, b"x" * 512)
+        yield from mover.copy_out(block, 0, 512)
+
+    run(scheduler, body)
+    assert scheduler.now == pytest.approx(1.0)
+
+
+def test_copy_out_simulated_returns_zero_filler(scheduler):
+    mover = DataMover(charge_time=True, bandwidth=1e9)
+    block = CacheBlock(0, 4096, with_data=False)
+
+    def body():
+        return (yield from mover.copy_out(block, 0, 100))
+
+    assert run(scheduler, body) == bytes(100)
+
+
+def test_charge_only(scheduler):
+    mover = DataMover(charge_time=True, bandwidth=2048)
+
+    def body():
+        yield from mover.charge(1024)
+
+    run(scheduler, body)
+    assert scheduler.now == pytest.approx(0.5)
+    assert mover.bytes_copied == 1024
+
+
+def test_copy_in_none_is_noop(scheduler):
+    mover = DataMover(charge_time=True)
+    block = CacheBlock(0, 4096, with_data=False)
+
+    def body():
+        return (yield from mover.copy_in(block, 0, None))
+
+    assert run(scheduler, body) == 0
+    assert scheduler.now == 0.0
+
+
+def test_bounds_checking(scheduler):
+    mover = DataMover(charge_time=False)
+    block = CacheBlock(0, 64, with_data=True)
+
+    def copy_in_oob():
+        yield from mover.copy_in(block, 60, b"xxxxxxxx")
+
+    def copy_out_oob():
+        yield from mover.copy_out(block, 0, 100)
+
+    with pytest.raises(InvalidArgument):
+        run(scheduler, copy_in_oob)
+    with pytest.raises(InvalidArgument):
+        run(scheduler, copy_out_oob)
+
+
+def test_rejects_bad_bandwidth():
+    with pytest.raises(InvalidArgument):
+        DataMover(charge_time=True, bandwidth=0)

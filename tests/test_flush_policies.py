@@ -1,0 +1,143 @@
+"""Flush (delayed write) policies: periodic update, UPS, NVRAM."""
+
+import pytest
+
+from repro.config import FlushConfig
+from repro.core.cache import BlockCache
+from repro.core.flush import (
+    NvramPolicy,
+    PeriodicUpdatePolicy,
+    WriteSavingPolicy,
+    make_flush_policy,
+)
+from repro.config import CacheConfig
+from repro.core.scheduler import Delay
+from repro.errors import ConfigurationError
+from tests.conftest import run
+
+
+def make_cache_with_policy(scheduler, flush_config, blocks=16):
+    cache = BlockCache(scheduler, CacheConfig(size_bytes=blocks * 4096), with_data=False)
+    written = []
+
+    def writeback(file_id, block_nos):
+        written.append((file_id, tuple(block_nos)))
+        yield Delay(0.002)
+
+    cache.writeback = writeback
+    policy = make_flush_policy(flush_config)
+    policy.attach(cache, scheduler)
+    return cache, policy, written
+
+
+def dirty_blocks(scheduler, cache, file_id, count):
+    def body():
+        for i in range(count):
+            block = yield from cache.allocate(file_id, i)
+            yield from cache.mark_dirty(block)
+
+    run(scheduler, body)
+
+
+def test_factory_dispatch():
+    assert isinstance(make_flush_policy(FlushConfig(policy="periodic")), PeriodicUpdatePolicy)
+    assert isinstance(make_flush_policy(FlushConfig(policy="ups")), WriteSavingPolicy)
+    assert isinstance(make_flush_policy(FlushConfig(policy="nvram")), NvramPolicy)
+
+
+def test_flush_config_validation():
+    with pytest.raises(ConfigurationError):
+        FlushConfig(policy="bogus")
+    with pytest.raises(ConfigurationError):
+        FlushConfig(update_interval=0)
+
+
+def test_periodic_policy_flushes_old_dirty_data(scheduler):
+    config = FlushConfig(policy="periodic", update_interval=30.0, scan_interval=5.0)
+    cache, policy, written = make_cache_with_policy(scheduler, config)
+    dirty_blocks(scheduler, cache, file_id=3, count=4)
+    # Before 30 seconds nothing is written.
+    scheduler.run(until=20.0)
+    assert not written
+    # After the update interval (plus a scan), the file is flushed.
+    scheduler.run(until=40.0)
+    assert any(file_id == 3 for file_id, _ in written)
+    assert cache.dirty_count == 0
+
+
+def test_periodic_policy_leaves_young_data_alone(scheduler):
+    config = FlushConfig(policy="periodic", update_interval=30.0, scan_interval=5.0)
+    cache, policy, written = make_cache_with_policy(scheduler, config)
+    dirty_blocks(scheduler, cache, 3, 2)
+    scheduler.run(until=25.0)
+    assert cache.dirty_count == 2
+    assert written == []
+
+
+def test_ups_policy_never_flushes_without_pressure(scheduler):
+    cache, policy, written = make_cache_with_policy(scheduler, FlushConfig(policy="ups"))
+    dirty_blocks(scheduler, cache, 3, 4)
+    scheduler.run(until=120.0)
+    assert written == []
+    assert cache.dirty_count == 4
+
+
+def test_ups_policy_flushes_under_allocation_pressure(scheduler):
+    cache, policy, written = make_cache_with_policy(
+        scheduler, FlushConfig(policy="ups"), blocks=4
+    )
+    dirty_blocks(scheduler, cache, 3, 4)
+
+    def allocate_more():
+        yield from cache.allocate(4, 0)
+
+    run(scheduler, allocate_more)
+    assert written, "allocation pressure must force a flush"
+    assert cache.contains(4, 0)
+
+
+def test_nvram_policy_sets_dirty_limit(scheduler):
+    config = FlushConfig(policy="nvram", nvram_bytes=4 * 4096, whole_file=True)
+    cache, policy, written = make_cache_with_policy(scheduler, config)
+    assert cache.dirty_limit_bytes == 4 * 4096
+    assert cache.drain_whole_file is True
+    assert cache.flush_whole_file_on_replacement is True
+
+
+def test_nvram_policy_caps_dirty_data(scheduler):
+    config = FlushConfig(policy="nvram", nvram_bytes=4 * 4096, whole_file=False)
+    cache, policy, written = make_cache_with_policy(scheduler, config)
+    dirty_blocks(scheduler, cache, 5, 10)
+    assert cache.dirty_bytes <= 4 * 4096
+    assert written, "exceeding the NVRAM must have drained something"
+
+
+def test_nvram_background_drain_keeps_occupancy_below_limit(scheduler):
+    config = FlushConfig(policy="nvram", nvram_bytes=8 * 4096, whole_file=True)
+    cache, policy, written = make_cache_with_policy(scheduler, config, blocks=32)
+    dirty_blocks(scheduler, cache, 6, 8)  # exactly at the limit
+    scheduler.run(until=5.0)
+    # The write-behind daemon drains below the high-water mark.
+    assert cache.dirty_bytes < 8 * 4096
+
+
+def test_synchronous_flush_mode(scheduler):
+    config = FlushConfig(policy="ups", asynchronous=False)
+    cache, policy, written = make_cache_with_policy(scheduler, config, blocks=4)
+    assert cache.space_requester is None
+    dirty_blocks(scheduler, cache, 3, 4)
+
+    def allocate_more():
+        yield from cache.allocate(4, 0)
+
+    run(scheduler, allocate_more)
+    assert written
+    assert cache.stats.forced_replacement_flushes >= 1
+
+
+def test_periodic_policy_counts_flushes(scheduler):
+    config = FlushConfig(policy="periodic", update_interval=10.0, scan_interval=2.0)
+    cache, policy, written = make_cache_with_policy(scheduler, config)
+    dirty_blocks(scheduler, cache, 3, 3)
+    scheduler.run(until=30.0)
+    assert policy.policy_flushes >= 3

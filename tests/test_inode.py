@@ -1,0 +1,65 @@
+"""In-core inodes."""
+
+import pytest
+
+from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
+from repro.errors import InvalidArgument
+
+
+def test_root_inode_number():
+    assert ROOT_INODE_NUMBER == 2
+
+
+def test_block_map_operations():
+    inode = Inode(number=5, kind=FileKind.REGULAR)
+    inode.set_block_address(0, 100)
+    inode.set_block_address(3, 400)
+    assert inode.get_block_address(0) == 100
+    assert inode.get_block_address(1) is None
+    assert inode.block_count == 2
+    assert list(inode.mapped_blocks()) == [(0, 100), (3, 400)]
+
+
+def test_negative_block_number_rejected():
+    inode = Inode(number=5, kind=FileKind.REGULAR)
+    with pytest.raises(InvalidArgument):
+        inode.set_block_address(-1, 10)
+
+
+def test_drop_blocks_from():
+    inode = Inode(number=5, kind=FileKind.REGULAR, block_map={0: 10, 1: 11, 2: 12, 5: 15})
+    freed = inode.drop_blocks_from(2)
+    assert sorted(freed) == [12, 15]
+    assert inode.block_map == {0: 10, 1: 11}
+
+
+def test_kind_helpers():
+    assert Inode(1, FileKind.DIRECTORY).is_directory
+    assert Inode(1, FileKind.REGULAR).is_regular
+    assert Inode(1, FileKind.SYMLINK).is_symlink
+    assert not Inode(1, FileKind.REGULAR).is_directory
+
+
+def test_blocks_for_size():
+    inode = Inode(1, FileKind.REGULAR, size=4097)
+    assert inode.blocks_for_size(4096) == 2
+    inode.size = 0
+    assert inode.blocks_for_size(4096) == 0
+
+
+def test_stat_dictionary():
+    inode = Inode(7, FileKind.DIRECTORY, size=42, nlink=3)
+    stat = inode.stat()
+    assert stat["ino"] == 7
+    assert stat["kind"] == "directory"
+    assert stat["size"] == 42
+    assert stat["nlink"] == 3
+    assert "mtime" in stat and "generation" in stat
+
+
+def test_touch_times():
+    inode = Inode(1, FileKind.REGULAR)
+    inode.touch_mtime(10.0)
+    inode.touch_atime(11.0)
+    assert inode.mtime == 10.0 and inode.ctime == 10.0
+    assert inode.atime == 11.0

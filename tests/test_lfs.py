@@ -1,0 +1,216 @@
+"""The segmented log-structured layout: log writes, IFILE, checkpoint, cleaning."""
+
+import pytest
+
+from repro.core.blocks import CacheBlock
+from repro.core.inode import FileKind, ROOT_INODE_NUMBER
+from repro.core.storage.cleaner import CostBenefitCleaner, GreedyCleaner
+from repro.core.storage.lfs import LogStructuredLayout
+from repro.core.storage.volume import Volume
+from repro.errors import StorageError
+from repro.pfs.diskfile import MemoryBackedDiskDriver
+from repro.units import KB, MB
+from tests.conftest import run
+
+
+def make_layout(scheduler, simulated=False, disk_mb=8, segment_blocks=8, disks=1):
+    drivers = [
+        MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB, name=f"d{i}")
+        for i in range(disks)
+    ]
+    volume = Volume(drivers, block_size=4 * KB)
+    layout = LogStructuredLayout(
+        scheduler, volume, block_size=4 * KB, segment_blocks=segment_blocks, simulated=simulated
+    )
+    run(scheduler, layout.format)
+    run(scheduler, layout.mount)
+    return layout
+
+
+def data_block(payload=b"", with_data=True):
+    block = CacheBlock(0, 4 * KB, with_data=with_data)
+    if with_data and payload:
+        block.data[: len(payload)] = payload
+    return block
+
+
+def test_geometry(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    assert layout.num_segments >= 2
+    assert layout.free_segment_count <= layout.num_segments
+    assert layout.segment_of(layout.segment_start(0)) == 0
+    assert layout.segment_of(0) == -1  # the superblock is outside any segment
+
+
+def test_allocate_inode_numbers_increase(scheduler):
+    layout = make_layout(scheduler)
+    first = layout.allocate_inode(FileKind.REGULAR)
+    second = layout.allocate_inode(FileKind.DIRECTORY)
+    assert first.number == ROOT_INODE_NUMBER
+    assert second.number == first.number + 1
+    assert set(layout.known_inode_numbers()) >= {first.number, second.number}
+
+
+def test_write_and_read_inode_roundtrip(scheduler):
+    layout = make_layout(scheduler)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    inode.size = 12345
+    run(scheduler, layout.write_inode, inode)
+    assert inode.number in layout.inode_map
+    # Force a re-read from disk.
+    layout._inode_objects.clear()
+    loaded = run(scheduler, layout.read_inode, inode.number)
+    assert loaded.size == 12345
+    assert loaded.kind is FileKind.REGULAR
+
+
+def test_read_unknown_inode_raises(scheduler):
+    layout = make_layout(scheduler)
+    with pytest.raises(StorageError):
+        run(scheduler, layout.read_inode, 999)
+
+
+def test_write_file_blocks_appends_to_log(scheduler):
+    layout = make_layout(scheduler)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    blocks = [(0, data_block(b"zero")), (1, data_block(b"one"))]
+    run(scheduler, layout.write_file_blocks, inode, blocks)
+    assert inode.get_block_address(0) is not None
+    assert inode.get_block_address(1) == inode.get_block_address(0) + 1
+    used_segment = layout.segment_of(inode.get_block_address(0))
+    assert layout.segment_usage[used_segment] >= 2
+
+
+def test_file_block_roundtrip_real_data(scheduler):
+    layout = make_layout(scheduler)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    run(scheduler, layout.write_file_blocks, inode, [(0, data_block(b"payload-0"))])
+    target = data_block()
+    found = run(scheduler, layout.read_file_block, inode, 0, target)
+    assert found is True
+    assert bytes(target.data[:9]) == b"payload-0"
+
+
+def test_hole_read_returns_false_for_real_layout(scheduler):
+    layout = make_layout(scheduler, simulated=False)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    assert run(scheduler, layout.read_file_block, inode, 5, data_block()) is False
+
+
+def test_simulated_layout_synthesizes_addresses(scheduler):
+    layout = make_layout(scheduler, simulated=True)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    block = CacheBlock(0, 4 * KB, with_data=False)
+    found = run(scheduler, layout.read_file_block, inode, 3, block)
+    assert found is True
+    assert layout.stats.synthesized_addresses == 1
+    # The synthesised address is stable across repeated reads.
+    address = layout.synthesize_address(inode.number, 3)
+    assert layout.synthesize_address(inode.number, 3) == address
+
+
+def test_overwrite_kills_old_blocks(scheduler):
+    layout = make_layout(scheduler)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    run(scheduler, layout.write_file_blocks, inode, [(0, data_block(b"v1"))])
+    first_address = inode.get_block_address(0)
+    assert sum(layout.segment_usage.values()) == 1
+    run(scheduler, layout.write_file_blocks, inode, [(0, data_block(b"v2"))])
+    # The log never overwrites in place: the block moved and the old copy died.
+    assert inode.get_block_address(0) != first_address
+    assert sum(layout.segment_usage.values()) == 1
+
+
+def test_release_blocks_frees_segment_usage(scheduler):
+    layout = make_layout(scheduler)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    run(scheduler, layout.write_file_blocks, inode, [(i, data_block(b"x")) for i in range(3)])
+    segment = layout.segment_of(inode.get_block_address(0))
+    run(scheduler, layout.release_blocks, inode, 0)
+    assert inode.block_count == 0
+    assert layout.segment_usage[segment] == 0
+
+
+def test_segment_rollover(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    blocks = [(i, data_block(bytes([i]))) for i in range(20)]
+    run(scheduler, layout.write_file_blocks, inode, blocks)
+    segments_used = {layout.segment_of(addr) for addr in inode.block_map.values()}
+    assert len(segments_used) >= 3
+
+
+def test_checkpoint_and_remount_restores_state(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    inode.size = 3 * 4 * KB
+    run(scheduler, layout.write_file_blocks, inode, [(i, data_block(b"abc")) for i in range(3)])
+    run(scheduler, layout.write_inode, inode)
+    run(scheduler, layout.checkpoint)
+
+    # A fresh layout object over the same volume must see the same metadata.
+    reloaded = LogStructuredLayout(
+        scheduler, layout.volume, block_size=4 * KB, segment_blocks=8, simulated=False
+    )
+    run(scheduler, reloaded.mount)
+    assert inode.number in reloaded.inode_map
+    loaded = run(scheduler, reloaded.read_inode, inode.number)
+    assert loaded.size == inode.size
+    assert loaded.block_map == inode.block_map
+
+
+def test_mount_rejects_mismatched_block_size(scheduler):
+    layout = make_layout(scheduler)
+    run(scheduler, layout.checkpoint)
+    other = LogStructuredLayout(
+        scheduler, layout.volume, block_size=4 * KB, segment_blocks=8, simulated=False
+    )
+    other.block_size = 8 * KB  # simulate misconfiguration after construction
+    with pytest.raises(StorageError):
+        run(scheduler, other.mount)
+
+
+def test_clean_segment_copies_live_blocks(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    # Fill one segment, then overwrite half the blocks so the segment is half dead.
+    run(scheduler, layout.write_file_blocks, inode, [(i, data_block(b"old")) for i in range(6)])
+    victim_segment = layout.segment_of(inode.get_block_address(0))
+    run(scheduler, layout.write_file_blocks, inode, [(i, data_block(b"new")) for i in range(3)])
+    free_before = layout.free_segment_count
+    copied, examined = run(scheduler, layout.clean_segment, victim_segment)
+    assert examined >= copied >= 1
+    assert victim_segment in layout.free_segments
+    assert layout.free_segment_count >= free_before
+    # All live block addresses moved out of the cleaned segment.
+    assert all(layout.segment_of(addr) != victim_segment for addr in inode.block_map.values())
+
+
+def test_segment_infos_exclude_free_and_active(scheduler):
+    layout = make_layout(scheduler)
+    infos = layout.segment_infos()
+    indices = {info.index for info in infos}
+    assert layout._active_segment not in indices
+    for segment in layout.free_segments:
+        assert segment not in indices
+
+
+def test_cleaner_policies_choose_sensibly(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    run(scheduler, layout.write_file_blocks, inode, [(i, data_block(b"d")) for i in range(14)])
+    # Kill most of the first segment.
+    run(scheduler, layout.write_file_blocks, inode, [(i, data_block(b"n")) for i in range(6)])
+    infos = layout.segment_infos()
+    greedy_choice = GreedyCleaner().choose(infos, now=scheduler.now)
+    cb_choice = CostBenefitCleaner().choose(infos, now=scheduler.now)
+    assert greedy_choice is not None and cb_choice is not None
+    assert greedy_choice.live_blocks == min(info.live_blocks for info in infos)
+
+
+def test_multi_disk_segments_do_not_cross_disks(scheduler):
+    layout = make_layout(scheduler, disks=2, disk_mb=4, segment_blocks=8)
+    for segment in range(layout.num_segments):
+        start = layout.segment_start(segment)
+        end = start + layout.segment_blocks - 1
+        assert layout.volume.disk_of(start) == layout.volume.disk_of(end)

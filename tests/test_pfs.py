@@ -1,0 +1,157 @@
+"""The Pegasus File-System facade: an on-line instantiation storing real data."""
+
+import pytest
+
+from repro.config import CacheConfig, FlushConfig, LayoutConfig
+from repro.errors import FileNotFound
+from repro.pfs.filesystem import PegasusFileSystem
+from repro.units import KB, MB
+
+
+def test_basic_write_read(pfs):
+    pfs.mkdir("/home")
+    pfs.write_file("/home/hello.txt", b"hello, cut-and-paste world")
+    assert pfs.read_file("/home/hello.txt") == b"hello, cut-and-paste world"
+    assert pfs.listdir("/home") == ["hello.txt"]
+    assert pfs.stat("/home/hello.txt")["size"] == 26
+
+
+def test_large_file_spans_blocks(pfs):
+    payload = bytes(range(256)) * 64 * 5  # 80 KB
+    pfs.write_file("/big.bin", payload)
+    assert pfs.read_file("/big.bin") == payload
+
+
+def test_overwrite_and_append(pfs):
+    pfs.write_file("/log.txt", b"first line\n")
+    pfs.append("/log.txt", b"second line\n")
+    assert pfs.read_file("/log.txt") == b"first line\nsecond line\n"
+    pfs.write_file("/log.txt", b"XXXXX", offset=0)
+    assert pfs.read_file("/log.txt")[:5] == b"XXXXX"
+
+
+def test_delete_and_exists(pfs):
+    pfs.write_file("/temp", b"temp data")
+    assert pfs.exists("/temp")
+    pfs.delete("/temp")
+    assert not pfs.exists("/temp")
+    with pytest.raises(FileNotFound):
+        pfs.read_file("/temp", 0, 1)
+
+
+def test_makedirs_and_nested_paths(pfs):
+    pfs.makedirs("/a/b/c")
+    pfs.write_file("/a/b/c/deep.txt", b"deep")
+    assert pfs.read_file("/a/b/c/deep.txt") == b"deep"
+    assert pfs.listdir("/a/b") == ["c"]
+
+
+def test_rename_and_symlink(pfs):
+    pfs.write_file("/orig", b"content")
+    pfs.rename("/orig", "/renamed")
+    assert pfs.read_file("/renamed") == b"content"
+    pfs.symlink("/renamed", "/alias")
+    assert pfs.readlink("/alias") == "/renamed"
+    assert pfs.read_file("/alias") == b"content"
+
+
+def test_truncate(pfs):
+    pfs.write_file("/t", b"Z" * 9000)
+    pfs.truncate("/t", 1000)
+    assert pfs.stat("/t")["size"] == 1000
+    assert pfs.read_file("/t") == b"Z" * 1000
+
+
+def test_handle_interface(pfs):
+    handle = pfs.open("/via-handle", create=True)
+    pfs.write(handle, 0, b"handle data")
+    assert pfs.read(handle, 0, 11) == b"handle data"
+    assert pfs.fsync(handle) >= 1
+    pfs.close(handle)
+
+
+def test_sync_flushes_dirty_data(pfs):
+    pfs.write_file("/dirty", b"D" * 8192)
+    assert pfs.cache.dirty_count > 0
+    pfs.sync()
+    assert pfs.cache.dirty_count == 0
+
+
+def test_statistics_report(pfs):
+    pfs.write_file("/s", b"stats" * 100)
+    pfs.read_file("/s")
+    stats = pfs.statistics()
+    assert stats["cache"]["blocks_dirtied"] >= 1
+    assert stats["layout"]["free_blocks"] > 0
+    assert "driver" in stats
+
+
+def test_persistence_across_remount_memoryless():
+    """Unmount writes a checkpoint; a new PFS over the same backing file
+    sees the same namespace and data."""
+    import tempfile, os
+
+    path = tempfile.mktemp(suffix=".pfsimg")
+    try:
+        first = PegasusFileSystem(
+            backing=path,
+            size_bytes=16 * MB,
+            cache=CacheConfig(size_bytes=1 * MB),
+            layout=LayoutConfig(segment_size=64 * KB),
+        )
+        first.format()
+        first.mkdir("/persist")
+        first.write_file("/persist/a.txt", b"A" * 5000)
+        first.write_file("/persist/b.txt", b"B" * 3000)
+        first.delete("/persist/b.txt")
+        first.unmount()
+        first.close_backing()
+
+        second = PegasusFileSystem(
+            backing=path,
+            size_bytes=16 * MB,
+            cache=CacheConfig(size_bytes=1 * MB),
+            layout=LayoutConfig(segment_size=64 * KB),
+        )
+        second.mount()
+        assert second.listdir("/persist") == ["a.txt"]
+        assert second.read_file("/persist/a.txt") == b"A" * 5000
+        second.unmount()
+        second.close_backing()
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+def test_ffs_layout_variant():
+    pfs = PegasusFileSystem(
+        size_bytes=16 * MB,
+        cache=CacheConfig(size_bytes=1 * MB),
+        layout=LayoutConfig(kind="ffs"),
+    )
+    pfs.format()
+    pfs.write_file("/on-ffs", b"ffs data" * 100)
+    assert pfs.read_file("/on-ffs") == b"ffs data" * 100
+
+
+def test_ups_flush_policy_variant():
+    pfs = PegasusFileSystem(
+        size_bytes=16 * MB,
+        cache=CacheConfig(size_bytes=1 * MB),
+        flush=FlushConfig(policy="ups"),
+        layout=LayoutConfig(segment_size=64 * KB),
+    )
+    pfs.format()
+    pfs.write_file("/ups-file", b"U" * 4096)
+    # No periodic flushing: the data stays dirty until a sync.
+    assert pfs.cache.dirty_count >= 1
+    pfs.sync()
+    assert pfs.cache.dirty_count == 0
+
+
+def test_multimedia_file_creation(pfs):
+    handle = pfs.create_multimedia("/video.mm")
+    pfs.write(handle, 0, b"V" * 4096)
+    assert pfs.read(handle, 0, 4096) == b"V" * 4096
+    pfs.close(handle)
+    assert pfs.stat("/video.mm")["kind"] == "multimedia"

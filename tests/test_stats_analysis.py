@@ -1,0 +1,113 @@
+"""Statistics plug-ins, latency recording and the analysis helpers."""
+
+import pytest
+
+from repro.analysis.cdf import (
+    cumulative_distribution,
+    fraction_at_or_below,
+    percentile,
+    summarize_latencies,
+)
+from repro.analysis.report import (
+    ascii_cdf_plot,
+    format_latency_cdf_table,
+    format_mean_latency_table,
+)
+from repro.errors import InvalidArgument
+from repro.patsy.stats import Histogram, LatencyRecorder
+
+
+def test_histogram_linear_buckets():
+    histogram = Histogram(low=0.0, high=10.0, buckets=10)
+    histogram.add_all([0.5, 1.5, 9.5, 25.0])
+    assert histogram.total == 4
+    assert histogram.counts[-1] == 1  # the overflow bucket
+    assert histogram.mean == pytest.approx((0.5 + 1.5 + 9.5 + 25.0) / 4)
+    assert histogram.min == 0.5 and histogram.max == 25.0
+
+
+def test_histogram_log_buckets():
+    histogram = Histogram(low=0.001, high=1.0, buckets=3, log_scale=True)
+    assert len(histogram.bounds) == 3
+    assert histogram.bounds[0] < histogram.bounds[1] < histogram.bounds[2]
+    with pytest.raises(InvalidArgument):
+        Histogram(low=0.0, high=1.0, log_scale=True)
+
+
+def test_histogram_ascii_rendering():
+    histogram = Histogram(low=0, high=4, buckets=4)
+    histogram.add_all([1, 1, 3])
+    text = histogram.to_ascii(label="queue length")
+    assert "queue length" in text and "#" in text
+
+
+def test_latency_recorder_summary():
+    recorder = LatencyRecorder(report_interval=10.0)
+    for i in range(100):
+        recorder.record(start_time=i * 0.5, op="read" if i % 2 else "write", latency=0.001 * (i + 1))
+    recorder.finish()
+    assert recorder.count == 100
+    assert recorder.mean_latency() == pytest.approx(0.0505)
+    assert recorder.percentile(0.5) <= recorder.percentile(0.95)
+    assert recorder.mean_latency("read") != recorder.mean_latency("write")
+    assert set(recorder.per_operation_means()) == {"read", "write"}
+    assert len(recorder.interval_reports) == 5
+    assert recorder.summary()["operations"] == 100
+    assert "read" in recorder.describe()
+
+
+def test_latency_recorder_cdf_monotone():
+    recorder = LatencyRecorder()
+    for value in (0.5, 0.1, 0.9, 0.3):
+        recorder.record(0.0, "read", value)
+    cdf = recorder.cdf()
+    latencies = [point[0] for point in cdf]
+    fractions = [point[1] for point in cdf]
+    assert latencies == sorted(latencies)
+    assert fractions[-1] == pytest.approx(1.0)
+    assert recorder.fraction_completed_within(0.4) == pytest.approx(0.5)
+
+
+def test_cumulative_distribution_helpers():
+    values = [1.0, 2.0, 3.0, 4.0]
+    cdf = cumulative_distribution(values, points=10)
+    assert cdf[0] == (1.0, 0.25)
+    assert cdf[-1] == (4.0, 1.0)
+    assert fraction_at_or_below(values, 2.5) == 0.5
+    assert fraction_at_or_below([], 1.0) == 0.0
+    assert percentile(values, 0.5) == 2.0
+    with pytest.raises(InvalidArgument):
+        percentile(values, 1.5)
+    with pytest.raises(InvalidArgument):
+        cumulative_distribution(values, points=1)
+
+
+def test_cumulative_distribution_downsamples():
+    values = list(range(1000))
+    cdf = cumulative_distribution(values, points=50)
+    assert len(cdf) <= 51
+    assert cdf[-1][1] == pytest.approx(1.0)
+
+
+def test_summarize_latencies():
+    summary = summarize_latencies([0.001, 0.002, 0.100])
+    assert summary["count"] == 3
+    assert summary["max"] == 0.100
+    assert summarize_latencies([])["mean"] == 0.0
+
+
+def test_format_mean_latency_table():
+    table = {"1a": {"ups": 0.001, "write-delay": 0.002}, "1b": {"ups": 0.003, "write-delay": 0.004}}
+    text = format_mean_latency_table(table)
+    assert "1a" in text and "write-delay" in text and "ms" in text
+
+
+def test_format_latency_cdf_table():
+    text = format_latency_cdf_table({"ups": [0.001, 0.010], "write-delay": [0.050, 0.100]})
+    assert "ups" in text and "%" in text
+
+
+def test_ascii_cdf_plot():
+    plot = ascii_cdf_plot({"ups": [0.001, 0.002, 0.010], "write-delay": [0.02, 0.05]}, width=30, height=8)
+    assert "ups" in plot and "|" in plot
+    assert ascii_cdf_plot({}) == "(no data)"

@@ -1,0 +1,150 @@
+"""Synchronisation primitives: semaphores, resources, channels."""
+
+import pytest
+
+from repro.core.scheduler import Delay
+from repro.core.sync import Channel, Mutex, Resource, Semaphore
+from repro.errors import SchedulerError
+from tests.conftest import run
+
+
+def test_semaphore_immediate_acquire(scheduler):
+    sem = Semaphore(scheduler, value=2)
+
+    def body():
+        yield from sem.acquire()
+        yield from sem.acquire()
+        return sem.value
+
+    assert run(scheduler, body) == 0
+
+
+def test_semaphore_blocks_and_wakes_fifo(fifo_scheduler):
+    sem = Semaphore(fifo_scheduler, value=1)
+    order = []
+
+    def holder():
+        yield from sem.acquire()
+        order.append("holder")
+        yield Delay(2.0)
+        sem.release()
+
+    def waiter(name):
+        yield from sem.acquire()
+        order.append(name)
+        sem.release()
+
+    t1 = fifo_scheduler.spawn(holder)
+    t2 = fifo_scheduler.spawn(waiter, "w1")
+    t3 = fifo_scheduler.spawn(waiter, "w2")
+    for t in (t1, t2, t3):
+        fifo_scheduler.run_until_complete(t)
+    assert order == ["holder", "w1", "w2"]
+
+
+def test_mutex_locked_state(scheduler):
+    mutex = Mutex(scheduler)
+
+    def body():
+        assert not mutex.locked()
+        yield from mutex.acquire()
+        assert mutex.locked()
+        mutex.release()
+        return mutex.locked()
+
+    assert run(scheduler, body) is False
+
+
+def test_resource_capacity_and_contention(fifo_scheduler):
+    resource = Resource(fifo_scheduler, capacity=1, name="bus")
+    timeline = []
+
+    def user(name, hold):
+        yield from resource.acquire()
+        timeline.append((name, fifo_scheduler.now))
+        yield Delay(hold)
+        resource.release()
+
+    threads = [fifo_scheduler.spawn(user, i, 1.0) for i in range(3)]
+    for t in threads:
+        fifo_scheduler.run_until_complete(t)
+    starts = [start for _, start in timeline]
+    assert starts == pytest.approx([0.0, 1.0, 2.0])
+    assert resource.total_acquisitions == 3
+    assert resource.mean_wait_time > 0.0
+
+
+def test_resource_use_helper(scheduler):
+    resource = Resource(scheduler, capacity=1)
+
+    def body():
+        yield from resource.use(0.5)
+        return resource.in_use
+
+    assert run(scheduler, body) == 0
+    assert scheduler.now == pytest.approx(0.5)
+
+
+def test_resource_release_without_acquire_raises(scheduler):
+    resource = Resource(scheduler, capacity=1)
+    with pytest.raises(SchedulerError):
+        resource.release()
+
+
+def test_resource_rejects_zero_capacity(scheduler):
+    with pytest.raises(ValueError):
+        Resource(scheduler, capacity=0)
+
+
+def test_channel_put_then_get(scheduler):
+    channel = Channel(scheduler)
+    channel.put("a")
+    channel.put("b")
+
+    def body():
+        first = yield from channel.get()
+        second = yield from channel.get()
+        return [first, second]
+
+    assert run(scheduler, body) == ["a", "b"]
+    assert channel.empty
+
+
+def test_channel_get_blocks_until_put(scheduler):
+    channel = Channel(scheduler)
+    results = []
+
+    def consumer():
+        item = yield from channel.get()
+        results.append((item, scheduler.now))
+
+    def producer():
+        yield Delay(3.0)
+        channel.put("late-item")
+
+    t = scheduler.spawn(consumer)
+    scheduler.spawn(producer)
+    scheduler.run_until_complete(t)
+    assert results == [("late-item", pytest.approx(3.0))]
+
+
+def test_channel_try_get(scheduler):
+    channel = Channel(scheduler)
+    assert channel.try_get() is None
+    channel.put(1)
+    assert channel.try_get() == 1
+    assert channel.try_get() is None
+
+
+def test_channel_depth_statistics(scheduler):
+    channel = Channel(scheduler)
+    for i in range(5):
+        channel.put(i)
+    assert len(channel) == 5
+    assert channel.max_depth == 5
+    assert channel.total_puts == 5
+
+
+def test_semaphore_rejects_negative_value(scheduler):
+    with pytest.raises(ValueError):
+        Semaphore(scheduler, value=-1)

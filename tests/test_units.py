@@ -1,0 +1,68 @@
+"""Unit helpers: sizes, times, block arithmetic."""
+
+import pytest
+
+from repro import units
+
+
+def test_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
+    assert units.GB == 1024 ** 3
+    assert units.DEFAULT_BLOCK_SIZE == 4096
+    assert units.SECTOR_SIZE == 512
+
+
+def test_bytes_to_blocks_rounds_up():
+    assert units.bytes_to_blocks(0) == 0
+    assert units.bytes_to_blocks(1) == 1
+    assert units.bytes_to_blocks(4096) == 1
+    assert units.bytes_to_blocks(4097) == 2
+    assert units.bytes_to_blocks(10_000, block_size=1000) == 10
+
+
+def test_bytes_to_blocks_rejects_negative():
+    with pytest.raises(ValueError):
+        units.bytes_to_blocks(-1)
+
+
+def test_blocks_to_bytes():
+    assert units.blocks_to_bytes(3) == 3 * 4096
+    assert units.blocks_to_bytes(0) == 0
+    with pytest.raises(ValueError):
+        units.blocks_to_bytes(-2)
+
+
+def test_block_span_single_block():
+    assert list(units.block_span(0, 4096)) == [0]
+    assert list(units.block_span(100, 100)) == [0]
+
+
+def test_block_span_crossing_boundary():
+    assert list(units.block_span(4095, 2)) == [0, 1]
+    assert list(units.block_span(4096, 1)) == [1]
+    assert list(units.block_span(0, 8193)) == [0, 1, 2]
+
+
+def test_block_span_empty_and_invalid():
+    assert list(units.block_span(10, 0)) == []
+    with pytest.raises(ValueError):
+        units.block_span(-1, 5)
+
+
+def test_human_bytes():
+    assert units.human_bytes(512) == "512B"
+    assert units.human_bytes(4096) == "4.0KB"
+    assert units.human_bytes(3 * units.MB) == "3.0MB"
+
+
+def test_human_time_ranges():
+    assert units.human_time(5e-6).endswith("us")
+    assert units.human_time(0.0172) == "17.2ms"
+    assert units.human_time(2.5) == "2.50s"
+    assert units.human_time(90) == "1.5min"
+    assert units.human_time(7200).endswith("h")
+
+
+def test_human_time_negative():
+    assert units.human_time(-0.5) == "-500.0ms"

@@ -1,0 +1,110 @@
+"""Volumes: block address space over one or more drivers."""
+
+import pytest
+
+from repro.core.storage.volume import Volume
+from repro.errors import DiskAddressError, StorageError
+from repro.pfs.diskfile import MemoryBackedDiskDriver
+from repro.units import KB, MB
+from tests.conftest import run
+
+
+def make_volume(scheduler, disks=2, disk_mb=2):
+    drivers = [
+        MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB, name=f"m{i}")
+        for i in range(disks)
+    ]
+    return Volume(drivers, block_size=4 * KB)
+
+
+def test_total_blocks(scheduler):
+    volume = make_volume(scheduler, disks=2, disk_mb=2)
+    assert volume.total_blocks == 2 * (2 * MB // (4 * KB))
+    assert volume.num_disks == 2
+
+
+def test_disk_of_and_locate(scheduler):
+    volume = make_volume(scheduler, disks=2, disk_mb=2)
+    per_disk = volume.total_blocks // 2
+    assert volume.disk_of(0) == 0
+    assert volume.disk_of(per_disk - 1) == 0
+    assert volume.disk_of(per_disk) == 1
+    driver, sector = volume.locate(per_disk)
+    assert driver is volume.drivers[1]
+    assert sector == 0
+
+
+def test_blocks_on_disk(scheduler):
+    volume = make_volume(scheduler, disks=2, disk_mb=2)
+    per_disk = volume.total_blocks // 2
+    assert volume.blocks_on_disk(0) == range(0, per_disk)
+    assert volume.blocks_on_disk(1) == range(per_disk, 2 * per_disk)
+
+
+def test_block_roundtrip(scheduler):
+    volume = make_volume(scheduler)
+    payload = bytes(range(256)) * 16  # 4 KB
+
+    def body():
+        yield from volume.write_block(5, payload)
+        return (yield from volume.read_block(5))
+
+    assert run(scheduler, body) == payload
+
+
+def test_run_roundtrip(scheduler):
+    volume = make_volume(scheduler)
+    payload = b"R" * (3 * 4 * KB)
+
+    def body():
+        yield from volume.write_run(10, 3, payload)
+        return (yield from volume.read_run(10, 3))
+
+    assert run(scheduler, body) == payload
+
+
+def test_run_crossing_disk_boundary_rejected(scheduler):
+    volume = make_volume(scheduler, disks=2, disk_mb=2)
+    per_disk = volume.total_blocks // 2
+
+    def body():
+        yield from volume.write_run(per_disk - 1, 2, b"X" * (2 * 4 * KB))
+
+    with pytest.raises(StorageError):
+        run(scheduler, body)
+
+
+def test_out_of_range_rejected(scheduler):
+    volume = make_volume(scheduler)
+
+    def body():
+        yield from volume.read_block(volume.total_blocks)
+
+    with pytest.raises(DiskAddressError):
+        run(scheduler, body)
+
+
+def test_bad_payload_length_rejected(scheduler):
+    volume = make_volume(scheduler)
+
+    def body():
+        yield from volume.write_run(0, 2, b"short")
+
+    with pytest.raises(StorageError):
+        run(scheduler, body)
+
+
+def test_volume_needs_drivers():
+    with pytest.raises(StorageError):
+        Volume([], block_size=4 * KB)
+
+
+def test_flush(scheduler):
+    volume = make_volume(scheduler)
+
+    def body():
+        yield from volume.write_block(1, b"F" * 4 * KB)
+        yield from volume.flush()
+
+    run(scheduler, body)
+    assert all(driver.outstanding == 0 for driver in volume.drivers)
