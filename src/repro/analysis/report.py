@@ -11,6 +11,7 @@ __all__ = [
     "format_mean_latency_table",
     "format_latency_cdf_table",
     "format_policy_comparison",
+    "format_replacement_comparison",
     "ascii_cdf_plot",
 ]
 
@@ -80,6 +81,42 @@ def format_policy_comparison(results: Mapping[str, object], trace_name: str = ""
             f"{human_time(latency.percentile(0.5)):>10} {human_time(latency.percentile(0.95)):>10} "
             f"{result.blocks_written_to_disk:>8} {result.write_savings_blocks:>7} "
             f"{cache.get('hit_rate', 0.0) * 100:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_replacement_comparison(
+    cache_stats_by_policy: Mapping[str, Mapping[str, object]],
+    title: str = "replacement-policy ablation",
+) -> str:
+    """One line per replacement policy: hit rate plus the adaptive-policy
+    counters (ghost hits, adaptations, amortised victim-selection cost).
+
+    ``cache_stats_by_policy`` maps policy name to a ``cache_stats`` snapshot
+    (:meth:`repro.core.cache.CacheStatistics.snapshot`, as found in
+    :attr:`repro.patsy.simulator.SimulationResult.cache_stats`).
+    """
+    lines = [title, ""]
+    header = (
+        f"{'policy':<8} {'hit%':>6} {'lookups':>9} {'evictions':>10} "
+        f"{'ghost-hits':>11} {'adaptations':>12} {'scan/evict':>11}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    ordered = sorted(
+        cache_stats_by_policy.items(),
+        key=lambda item: -float(item[1].get("hit_rate", 0.0)),
+    )
+    for policy, stats in ordered:
+        evictions = int(stats.get("evictions", 0))
+        steps = int(stats.get("victim_scan_steps", 0))
+        per_eviction = steps / evictions if evictions else 0.0
+        lines.append(
+            f"{policy:<8} {float(stats.get('hit_rate', 0.0)) * 100:>5.1f}% "
+            f"{int(stats.get('lookups', 0)):>9} {evictions:>10} "
+            f"{int(stats.get('ghost_hits', 0)):>11} "
+            f"{int(stats.get('policy_adaptations', 0)):>12} "
+            f"{per_eviction:>11.2f}"
         )
     return "\n".join(lines)
 

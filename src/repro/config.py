@@ -34,20 +34,43 @@ class CacheConfig:
 
     size_bytes: int = 8 * MB
     block_size: int = DEFAULT_BLOCK_SIZE
-    #: replacement policy: "lru", "random", "lfu", "slru" or "lru-k".
+    #: replacement policy: "lru", "random", "lfu", "slru", "lru-k",
+    #: "clock", "2q" or "arc" (see :mod:`repro.core.replacement`).
     replacement: str = "lru"
     #: fraction of the cache protected by SLRU (only used by "slru").
     slru_protected_fraction: float = 0.5
     #: K parameter for LRU-K replacement.
     lru_k: int = 2
+    #: fraction of the cache given to 2Q's A1in FIFO (only used by "2q").
+    twoq_in_fraction: float = 0.25
+    #: size of 2Q's A1out ghost FIFO as a fraction of the cache.
+    twoq_out_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
             raise ConfigurationError("block_size must be positive")
         if self.size_bytes < self.block_size:
             raise ConfigurationError("cache must hold at least one block")
-        if self.replacement not in {"lru", "random", "lfu", "slru", "lru-k"}:
+        if self.replacement not in {
+            "lru",
+            "random",
+            "lfu",
+            "slru",
+            "lru-k",
+            "clock",
+            "2q",
+            "arc",
+        }:
             raise ConfigurationError(f"unknown replacement policy {self.replacement!r}")
+        # Policy parameters are validated only for the selected policy:
+        # the knobs are documented as "only used by" their policy, and a
+        # config that never reads a value must not be rejected over it.
+        if self.replacement == "slru" and not (0.0 < self.slru_protected_fraction < 1.0):
+            raise ConfigurationError("slru_protected_fraction must be in (0, 1)")
+        if self.replacement == "2q" and (
+            not (0.0 < self.twoq_in_fraction < 1.0) or self.twoq_out_fraction <= 0.0
+        ):
+            raise ConfigurationError("2Q fractions must be positive (in_fraction < 1)")
 
     @property
     def num_blocks(self) -> int:

@@ -9,15 +9,19 @@ blocks are replaced and flushed." (Section 2)
 The base cache keeps three collections:
 
 * a free list of never-used slots,
-* a *clean* (non-dirty) list in LRU order,
+* a *clean* (non-dirty) set whose eviction order is maintained by the
+  replacement policy's own lists,
 * a *dirty* list ordered by the time each block first became dirty.
 
-Allocation takes free slots first, then evicts from the clean list using the
-configured :class:`~repro.core.replacement.ReplacementPolicy`.  When neither
-is possible the cache "initiates a cache flush through the oldest dirty
-block" — either synchronously in the allocating thread, or by kicking an
-asynchronous flush daemon (the Section 5.2 lesson) registered by the active
-:class:`~repro.core.flush.FlushPolicy`.
+Allocation takes free slots first, then asks the configured
+:class:`~repro.core.replacement.ReplacementPolicy` for a victim.  The
+policy is event-driven: the cache reports inserts, accesses, dirty/clean
+transitions and evictions, and the policy answers ``victim()`` in O(1)
+amortised time from its own intrusive lists (including ghost lists for the
+adaptive policies).  When no block is evictable the cache "initiates a
+cache flush through the oldest dirty block" — either synchronously in the
+allocating thread, or by kicking an asynchronous flush daemon (the Section
+5.2 lesson) registered by the active :class:`~repro.core.flush.FlushPolicy`.
 
 Persistency policies (the 30-second update timer, UPS write-saving, NVRAM)
 are *derived components* implemented in :mod:`repro.core.flush`; they drive
@@ -32,7 +36,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.config import CacheConfig
 from repro.core.blocks import BlockId, BlockState, CacheBlock
-from repro.core.replacement import LruReplacement, make_replacement_policy
+from repro.core.replacement import make_replacement_policy
 from repro.core.scheduler import Scheduler
 from repro.errors import CacheError, CacheExhaustedError
 
@@ -62,6 +66,13 @@ class CacheStatistics:
     nvram_stalls: int = 0
     peak_dirty_bytes: int = 0
     forced_replacement_flushes: int = 0
+    #: misses whose identity was found in a policy ghost list (ARC/2Q).
+    ghost_hits: int = 0
+    #: times an adaptive policy re-tuned itself (ARC target movements).
+    policy_adaptations: int = 0
+    #: list nodes examined across all victim selections; divided by
+    #: ``evictions`` this measures the (amortised O(1)) eviction cost.
+    victim_scan_steps: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -86,6 +97,9 @@ class CacheStatistics:
             "nvram_stalls": self.nvram_stalls,
             "peak_dirty_bytes": self.peak_dirty_bytes,
             "forced_replacement_flushes": self.forced_replacement_flushes,
+            "ghost_hits": self.ghost_hits,
+            "policy_adaptations": self.policy_adaptations,
+            "victim_scan_steps": self.victim_scan_steps,
         }
 
 
@@ -108,17 +122,28 @@ class BlockCache:
         self.config = config
         self.block_size = config.block_size
         self.with_data = with_data
-        self.replacement = make_replacement_policy(
-            config.replacement, slru_fraction=config.slru_protected_fraction, k=config.lru_k
+        self.stats = CacheStatistics()
+        #: the replacement policy; event-driven, shares this cache's stats.
+        self.policy = make_replacement_policy(
+            config.replacement,
+            config.num_blocks,
+            rng=scheduler.rng,
+            stats=self.stats,
+            slru_fraction=config.slru_protected_fraction,
+            k=config.lru_k,
+            twoq_in_fraction=config.twoq_in_fraction,
+            twoq_out_fraction=config.twoq_out_fraction,
         )
         self._slots = [
             CacheBlock(slot, config.block_size, with_data) for slot in range(config.num_blocks)
         ]
         self._free: deque[CacheBlock] = deque(self._slots)
         self._index: dict[BlockId, CacheBlock] = {}
-        self._clean: "OrderedDict[BlockId, CacheBlock]" = OrderedDict()
+        #: clean residents (membership/count only; eviction order lives in
+        #: the policy's own lists).
+        self._clean: dict[BlockId, CacheBlock] = {}
+        #: dirty residents, in first-dirtied order (drives flush policies).
         self._dirty: "OrderedDict[BlockId, CacheBlock]" = OrderedDict()
-        self.stats = CacheStatistics()
 
         #: registered by the file system; required before any flush happens.
         self.writeback: Optional[WritebackFn] = None
@@ -180,10 +205,9 @@ class BlockCache:
         return block
 
     def touch(self, block: CacheBlock) -> None:
-        """Record an access to ``block`` for replacement bookkeeping."""
+        """Record a reference to ``block`` for replacement bookkeeping."""
         block.record_access(self.scheduler.now)
-        if block.is_clean and block.block_id in self._clean:
-            self._clean.move_to_end(block.block_id)
+        self.policy.on_access(block)
 
     def dirty_blocks_of(self, file_id: int) -> list[CacheBlock]:
         """Dirty blocks of one file, oldest first."""
@@ -244,7 +268,7 @@ class BlockCache:
             raise CacheError(f"block {block_id} is already cached")
         attempts = 0
         while True:
-            block = self._take_free_or_evict()
+            block = self._take_free_or_evict(block_id)
             if block is not None:
                 break
             attempts += 1
@@ -260,33 +284,27 @@ class BlockCache:
         block.record_access(self.scheduler.now)
         self._index[block_id] = block
         self._clean[block_id] = block
+        self.policy.on_insert(block)
         self.stats.allocations += 1
         return block
 
-    def _take_free_or_evict(self) -> Optional[CacheBlock]:
+    def _take_free_or_evict(self, incoming: Optional[BlockId] = None) -> Optional[CacheBlock]:
         if self._free:
             return self._free.popleft()
-        victim = self._select_clean_victim()
+        victim = self.policy.victim(incoming=incoming)
         if victim is None:
             return None
+        # Replacement eviction: the policy may remember the identity in a
+        # ghost list (the incoming block is what pushed it out).
+        self.policy.on_evict(victim, ghost=True)
         self._remove(victim)
         victim.reset()
         self.stats.evictions += 1
         return victim
 
-    def _select_clean_victim(self) -> Optional[CacheBlock]:
-        if isinstance(self.replacement, LruReplacement):
-            # Fast path: the clean list is already in recency order.
-            for block in self._clean.values():
-                if not block.pinned and not block.busy:
-                    return block
-            return None
-        candidates = [b for b in self._clean.values() if not b.pinned and not b.busy]
-        return self.replacement.victim(candidates, self.scheduler.rng)
-
     def has_allocatable_slot(self) -> bool:
         """True when an allocation could succeed right now without flushing."""
-        return bool(self._free) or self._select_clean_victim() is not None
+        return bool(self._free) or self.policy.victim(peek=True) is not None
 
     def _make_space(self) -> Generator[Any, Any, None]:
         """Create an evictable block, by flushing dirty data."""
@@ -330,8 +348,12 @@ class BlockCache:
         """
         if block.block_id is None or block.block_id not in self._index:
             raise CacheError("cannot dirty a block that is not in the cache")
+        # The reference that dirtied this block was already counted by the
+        # lookup/allocate that preceded it; notifying the policy again would
+        # make every freshly written block look re-referenced and defeat
+        # scan resistance, so only the block's own bookkeeping is updated.
         if block.is_dirty:
-            self.touch(block)
+            block.record_access(self.scheduler.now)
             return
         while (
             self.dirty_limit_bytes is not None
@@ -344,9 +366,10 @@ class BlockCache:
         block.state = BlockState.DIRTY
         block.dirty_since = self.scheduler.now
         self._dirty[block.block_id] = block
+        self.policy.on_dirty(block)
         self.stats.blocks_dirtied += 1
         self.stats.peak_dirty_bytes = max(self.stats.peak_dirty_bytes, self.dirty_bytes)
-        self.touch(block)
+        block.record_access(self.scheduler.now)
 
     def _drain_for_dirty_limit(self) -> Generator[Any, Any, None]:
         victim = self.oldest_dirty()
@@ -366,7 +389,7 @@ class BlockCache:
         block.state = BlockState.CLEAN
         block.dirty_since = None
         self._clean[block.block_id] = block
-        self._clean.move_to_end(block.block_id)
+        self.policy.on_clean(block)
         self.stats.blocks_cleaned += 1
 
     # ------------------------------------------------------------------ invalidation
@@ -384,6 +407,8 @@ class BlockCache:
             raise CacheError(f"cannot invalidate pinned/busy block {block.block_id}")
         if block.is_dirty:
             self.stats.dirty_blocks_discarded += 1
+        # No ghost: the data is destroyed (truncate/delete), not displaced.
+        self.policy.on_evict(block, ghost=False)
         self._remove(block)
         block.reset()
         self._free.append(block)
@@ -413,9 +438,14 @@ class BlockCache:
                 clean_dropped += 1
             if block.is_dirty:
                 self.stats.dirty_blocks_discarded += 1
+            self.policy.on_evict(block, ghost=False)
             self._remove(block)
             block.reset()
             self._free.append(block)
+        # Ghosts of previously evicted blocks of this file must go too:
+        # the data range is destroyed, so a later write to the same block
+        # numbers is new data, not reuse.
+        self.policy.forget_file(file_id, from_block)
         if doomed:
             self.notify_space_available()
         return clean_dropped, dirty_dropped

@@ -164,7 +164,16 @@ class AbstractClientInterface:
     def fsync(self, handle: int) -> Generator[Any, Any, int]:
         self.stats.count("fsync")
         entry = self.fs.file_table.get_handle(handle)
-        return (yield from entry.file.flush())
+        written = yield from entry.file.flush()
+        yield from self.fs.sync_inode(entry.file.file_id)
+        # Make the file durable as a whole: a freshly created file is only
+        # reachable through its directory entry, so the containing
+        # directory's dirty blocks and inode are flushed as well (the count
+        # returned is still the file's own data blocks).
+        if entry.file.parent_id is not None:
+            yield from self.fs.cache.flush_file(entry.file.parent_id)
+            yield from self.fs.sync_inode(entry.file.parent_id)
+        return written
 
     # Path-based conveniences (used by the NFS front-end, which is stateless).
 
@@ -308,6 +317,7 @@ class AbstractClientInterface:
             inode.nlink = 2
             parent.inode.nlink += 1
         file = self.fs.file_table.instantiate(inode)
+        file.parent_id = parent.file_id
         yield from parent.add_entry(name, inode.number)
         self.fs.note_inode_dirty(inode)
         self.fs.note_inode_dirty(parent.inode)

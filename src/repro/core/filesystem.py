@@ -123,6 +123,12 @@ class FileSystem:
         """Record that ``inode``'s metadata must reach disk by the next sync."""
         self._dirty_inodes[inode.number] = inode
 
+    def sync_inode(self, inode_number: int) -> Generator[Any, Any, None]:
+        """Write one dirty inode to disk now (fsync durability)."""
+        inode = self._dirty_inodes.pop(inode_number, None)
+        if inode is not None:
+            yield from self.layout.write_inode(inode)
+
     @property
     def dirty_inode_count(self) -> int:
         return len(self._dirty_inodes)

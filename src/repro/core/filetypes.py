@@ -51,6 +51,9 @@ class BaseFile:
         #: set when the file was synthesised by the simulator because a trace
         #: referenced a file that existed before the trace started.
         self.materialized = False
+        #: inode number of the directory this file was created in (when
+        #: known); fsync uses it to make the new directory entry durable.
+        self.parent_id: Optional[int] = None
 
     # -- identity ---------------------------------------------------------------
 

@@ -47,11 +47,15 @@ class FfsLikeLayout(StorageLayout):
         scheduler: Scheduler,
         volume: Volume,
         block_size: int = DEFAULT_BLOCK_SIZE,
-        max_inodes: int = 4096,
+        max_inodes: Optional[int] = None,
         simulated: bool = False,
         seed: int = 0,
     ):
         super().__init__(scheduler, volume, block_size, simulated=simulated, seed=seed)
+        if max_inodes is None:
+            # One block per inode slot: auto-size the table to an eighth of
+            # the volume so small volumes keep a usable data region.
+            max_inodes = min(max(volume.total_blocks // 8, 8), 4096)
         if max_inodes < 8:
             raise StorageError("FFS layout needs at least 8 inode slots")
         data_start = 1 + max_inodes

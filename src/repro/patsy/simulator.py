@@ -288,6 +288,10 @@ class PatsySimulator:
         reports = {}
         for plugin in self.plugins:
             reports[plugin.name] = plugin.collect(self)
+        cache_stats = self.cache.stats.snapshot()
+        cache_stats["replacement"] = self.cache.policy.name
+        for key, value in self.cache.policy.snapshot().items():
+            cache_stats[f"policy_{key}"] = value
         result = SimulationResult(
             trace_name=trace_name,
             policy_name=self.config.flush.policy,
@@ -295,7 +299,7 @@ class PatsySimulator:
             operations=self.latency.count,
             errors=self.errors,
             latency=self.latency,
-            cache_stats=self.cache.stats.snapshot(),
+            cache_stats=cache_stats,
             plugin_reports=reports,
             write_savings_blocks=self.cache.stats.dirty_blocks_discarded,
             blocks_written_to_disk=self.cache.stats.blocks_written,

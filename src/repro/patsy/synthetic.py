@@ -64,8 +64,8 @@ SPRITE_PROFILES: Dict[str, WorkloadProfile] = {
         read_fraction=0.30,
         stat_fraction=0.20,
         mean_file_size=32 * KB,
-        large_file_fraction=0.20,
-        large_file_size=256 * KB,
+        large_file_fraction=0.30,
+        large_file_size=320 * KB,
         overwrite_fraction=0.35,
         delete_fraction=0.40,
         rewrite_delay=8.0,

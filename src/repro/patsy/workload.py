@@ -17,12 +17,30 @@ traffic that the paper's experiments rely on (Baker et al. '91, Ousterhout
   written, which is exactly what makes "write saving" policies pay off,
 * activity is bursty: sessions (open ... close) arrive with exponential
   think times, and several clients act in parallel.
+
+Beyond the paper's trace stand-ins, ``access_pattern`` selects how read
+sessions pick files, which is what the replacement-policy ablations key on:
+
+* ``"hotset"`` — a small hot subset absorbs most reads (the default, and
+  the skew the paper's Sprite traces exhibit),
+* ``"zipf"``   — file popularity follows a Zipf law with ``zipf_alpha``,
+* ``"scan"``   — hot-set reads interleaved with sequential one-shot sweeps
+  over the whole file population (the LRU-killing pattern that
+  scan-resistant policies such as ARC and 2Q are built for),
+* ``"loop"``   — reads cycle over the file population in order (the LRU
+  worst case: with a loop slightly larger than the cache, LRU hits never).
+
+Generation is fully deterministic: per-client RNGs are seeded from the
+profile name via CRC-32, never via :func:`hash`, so a trace does not change
+with ``PYTHONHASHSEED``.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
+import zlib
 from dataclasses import dataclass, replace
 from typing import Iterable, List
 
@@ -30,7 +48,15 @@ from repro.errors import ConfigurationError
 from repro.patsy.traces import TraceRecord
 from repro.units import KB
 
-__all__ = ["WorkloadProfile", "SyntheticWorkloadGenerator", "generate_workload"]
+__all__ = [
+    "ACCESS_PATTERNS",
+    "WorkloadProfile",
+    "SyntheticWorkloadGenerator",
+    "generate_workload",
+]
+
+#: recognised read-access patterns.
+ACCESS_PATTERNS = ("hotset", "zipf", "scan", "loop")
 
 
 @dataclass(frozen=True)
@@ -74,6 +100,10 @@ class WorkloadProfile:
     hot_read_fraction: float = 0.7
     #: size of the hot subset.
     hot_set_size: int = 12
+    #: how read sessions pick files: "hotset", "zipf", "scan" or "loop".
+    access_pattern: str = "hotset"
+    #: Zipf exponent for the "zipf" access pattern.
+    zipf_alpha: float = 0.9
 
     def __post_init__(self) -> None:
         if self.duration <= 0 or self.num_clients <= 0:
@@ -82,6 +112,12 @@ class WorkloadProfile:
             raise ConfigurationError("read_fraction must be in [0, 1]")
         if self.io_unit <= 0 or self.mean_file_size <= 0:
             raise ConfigurationError("file and I/O sizes must be positive")
+        if self.access_pattern not in ACCESS_PATTERNS:
+            raise ConfigurationError(
+                f"unknown access pattern {self.access_pattern!r}; choose from {ACCESS_PATTERNS}"
+            )
+        if self.zipf_alpha <= 0:
+            raise ConfigurationError("zipf_alpha must be positive")
 
     def scaled(self, scale: float) -> "WorkloadProfile":
         """Scale the trace duration (and with it the operation count)."""
@@ -96,6 +132,23 @@ class SyntheticWorkloadGenerator:
     def __init__(self, profile: WorkloadProfile, seed: int = 0):
         self.profile = profile
         self.seed = seed
+        #: size of each file, sampled once when the file is first touched.
+        #: Re-reading a file must not re-roll its size: pre-existing files
+        #: keep a stable extent, so a stable hot set has a stable footprint.
+        self._sizes: dict[str, int] = {}
+        self._zipf_cdf: List[float] | None = None
+        if profile.access_pattern == "zipf":
+            # Cumulative Zipf weights over the pre-existing files; sampled
+            # with bisection so each pick is O(log n) and deterministic.
+            weights = [
+                1.0 / (rank + 1) ** profile.zipf_alpha for rank in range(profile.initial_files)
+            ]
+            total = 0.0
+            cdf: List[float] = []
+            for weight in weights:
+                total += weight
+                cdf.append(total)
+            self._zipf_cdf = cdf
 
     # -- public API ---------------------------------------------------------------
 
@@ -111,15 +164,20 @@ class SyntheticWorkloadGenerator:
 
     def _client_stream(self, client: int) -> List[TraceRecord]:
         profile = self.profile
-        rng = random.Random((self.seed * 1_000_003) ^ (client * 7919) ^ hash(profile.name))
+        # CRC-32, not hash(): trace generation must not vary with
+        # PYTHONHASHSEED (simulations are replayed and compared by seed).
+        name_tag = zlib.crc32(profile.name.encode("utf-8"))
+        rng = random.Random((self.seed * 1_000_003) ^ (client * 7919) ^ name_tag)
         records: List[TraceRecord] = []
         # Stagger client start times so sessions do not align artificially.
         now = rng.uniform(0.0, min(profile.mean_think_time, profile.duration / 10.0))
         file_counter = 0
         own_files: list[tuple[str, int]] = []  # (path, size) written by this client
+        #: sequential position for the "scan" and "loop" access patterns.
+        cursor = [client * max(profile.initial_files // max(profile.num_clients, 1), 1)]
         while now < profile.duration:
             if rng.random() < profile.read_fraction:
-                now = self._read_session(rng, client, now, records)
+                now = self._read_session(rng, client, now, records, cursor)
             else:
                 now, created = self._write_session(rng, client, now, records, file_counter)
                 file_counter += 1
@@ -132,16 +190,21 @@ class SyntheticWorkloadGenerator:
     # -- sessions -----------------------------------------------------------------------
 
     def _read_session(
-        self, rng: random.Random, client: int, start: float, records: List[TraceRecord]
+        self,
+        rng: random.Random,
+        client: int,
+        start: float,
+        records: List[TraceRecord],
+        cursor: List[int],
     ) -> float:
         profile = self.profile
-        path = self._pick_existing_path(rng)
+        path = self._pick_existing_path(rng, cursor)
         now = start
         if rng.random() < profile.stat_fraction:
             for _ in range(profile.stat_burst):
                 records.append(TraceRecord(now, client, "stat", path))
                 now += rng.expovariate(1.0 / profile.intra_op_gap)
-        size = self._pick_file_size(rng)
+        size = self._size_of(path, rng)
         records.append(TraceRecord(now, client, "open", path))
         now += rng.expovariate(1.0 / profile.intra_op_gap)
         offset = 0
@@ -162,12 +225,14 @@ class SyntheticWorkloadGenerator:
         file_counter: int,
     ) -> tuple[float, tuple[str, int] | None]:
         profile = self.profile
-        if rng.random() < 0.3:
-            path = self._pick_existing_path(rng)
+        fresh = rng.random() >= 0.3
+        if not fresh:
+            path = self._pick_existing_path(rng, None)
         else:
             directory = rng.randrange(profile.directory_count)
             path = f"/dir{directory:02d}/c{client}-f{file_counter:05d}.dat"
         size = self._pick_file_size(rng)
+        self._sizes[path] = size
         now = start
         records.append(TraceRecord(now, client, "open", path))
         now += rng.expovariate(1.0 / profile.intra_op_gap)
@@ -178,7 +243,10 @@ class SyntheticWorkloadGenerator:
             offset += chunk
             now += rng.expovariate(1.0 / profile.intra_op_gap)
         records.append(TraceRecord(now, client, "close", path))
-        return now, (path, size)
+        # Only freshly created files are candidates for the delete/rewrite
+        # follow-up: shared pre-existing files may be rewritten by several
+        # clients, and unlinking them would race between clients.
+        return now, (path, size) if fresh else None
 
     def _schedule_rewrite_or_delete(
         self,
@@ -213,15 +281,42 @@ class SyntheticWorkloadGenerator:
 
     # -- helpers ---------------------------------------------------------------------------
 
-    def _pick_existing_path(self, rng: random.Random) -> str:
-        """Pick a pre-existing file, with a bias towards a small hot set."""
+    def _pick_existing_path(self, rng: random.Random, cursor: List[int] | None) -> str:
+        """Pick a pre-existing file according to the profile's access pattern.
+
+        ``cursor`` carries the client's sequential position for the "scan"
+        and "loop" patterns; write sessions reuse existing files without a
+        cursor and fall back to the random patterns.
+        """
         profile = self.profile
-        if rng.random() < profile.hot_read_fraction:
-            index = rng.randrange(min(profile.hot_set_size, profile.initial_files))
+        pattern = profile.access_pattern
+        population = profile.initial_files
+        if pattern == "loop" and cursor is not None:
+            index = cursor[0] % population
+            cursor[0] += 1
+        elif pattern == "scan" and cursor is not None:
+            if rng.random() < profile.hot_read_fraction:
+                index = rng.randrange(min(profile.hot_set_size, population))
+            else:
+                # A one-shot sequential sweep position polluting the cache.
+                index = cursor[0] % population
+                cursor[0] += 1
+        elif pattern == "zipf" and self._zipf_cdf is not None:
+            point = rng.random() * self._zipf_cdf[-1]
+            index = min(bisect.bisect_left(self._zipf_cdf, point), population - 1)
+        elif rng.random() < profile.hot_read_fraction:
+            index = rng.randrange(min(profile.hot_set_size, population))
         else:
-            index = rng.randrange(profile.initial_files)
+            index = rng.randrange(population)
         directory = index % profile.directory_count
         return f"/dir{directory:02d}/existing-{index:04d}.dat"
+
+    def _size_of(self, path: str, rng: random.Random) -> int:
+        """The file's stable size, sampled on first touch."""
+        size = self._sizes.get(path)
+        if size is None:
+            size = self._sizes[path] = self._pick_file_size(rng)
+        return size
 
     def _pick_file_size(self, rng: random.Random) -> int:
         profile = self.profile

@@ -41,7 +41,9 @@ from repro.errors import (
     InvalidArgument,
     IsADirectory,
     NotADirectory,
+    ReproError,
     StaleHandle,
+    StorageError,
 )
 
 __all__ = [
@@ -166,7 +168,12 @@ class NfsClientInterface(AbstractClientInterface):
         return self.handle_for(self.fs.root_directory())
 
     def file_for_handle(self, handle: NfsFileHandle) -> Generator[Any, Any, BaseFile]:
-        file = yield from self.fs.file_table.load(handle.inode_number)
+        try:
+            file = yield from self.fs.file_table.load(handle.inode_number)
+        except StorageError as error:
+            # The inode is gone (file removed and reaped): the NFSv2 answer
+            # is a stale-handle error, not a dead server thread.
+            raise StaleHandle(f"stale file handle {handle}: {error}") from error
         if file.inode.generation != handle.generation:
             raise StaleHandle(f"stale file handle {handle}")
         return file
@@ -410,6 +417,11 @@ class NfsServer:
             return NfsReply(NfsStatus.OK, result)
         except FileSystemError as error:
             return NfsReply(status_for_error(error), {"message": str(error)})
+        except ReproError as error:
+            # A server must answer every request: internal failures become
+            # ERR_IO instead of silently killing the worker thread (which
+            # would leave the client waiting for a reply forever).
+            return NfsReply(NfsStatus.ERR_IO, {"message": str(error)})
 
 
 class NfsLoopbackClient:

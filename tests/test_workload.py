@@ -109,3 +109,72 @@ def test_write_heavy_traces_have_more_write_volume():
         return sum(r.size for r in records if r.op == "write")
 
     assert write_bytes(heavy) > write_bytes(normal)
+
+
+# ---------------------------------------------------------------- access patterns
+
+
+def read_paths(records):
+    seen = []
+    for record in records:
+        if record.op == "open" and "existing-" in record.path and record.path not in seen:
+            seen.append(record.path)
+    return seen
+
+
+def existing_read_counts(records):
+    counts = {}
+    for record in records:
+        if record.op == "read" and "existing-" in record.path:
+            counts[record.path] = counts.get(record.path, 0) + 1
+    return counts
+
+
+def test_access_pattern_validation():
+    with pytest.raises(ConfigurationError):
+        small_profile(access_pattern="belady")
+    with pytest.raises(ConfigurationError):
+        small_profile(access_pattern="zipf", zipf_alpha=0.0)
+
+
+def test_zipf_pattern_skews_toward_low_ranks():
+    profile = small_profile(
+        duration=300.0, read_fraction=0.95, initial_files=40,
+        access_pattern="zipf", zipf_alpha=1.1,
+    )
+    counts = existing_read_counts(generate_workload(profile, seed=5))
+    by_index = {int(path.split("existing-")[1][:4]): count for path, count in counts.items()}
+    head = sum(count for index, count in by_index.items() if index < 8)
+    tail = sum(count for index, count in by_index.items() if index >= 8)
+    # Rank 0-7 of 40 files absorb well over half the Zipf(1.1) reads.
+    assert head > tail
+
+
+def test_loop_pattern_cycles_through_population():
+    profile = small_profile(
+        duration=120.0, num_clients=1, read_fraction=1.0, initial_files=6,
+        access_pattern="loop",
+    )
+    records = generate_workload(profile, seed=2)
+    indices = [
+        int(r.path.split("existing-")[1][:4]) for r in records if r.op == "open"
+    ]
+    assert len(indices) > 6
+    # A single client visits files in strict cyclic order.
+    for position in range(1, len(indices)):
+        assert indices[position] == (indices[position - 1] + 1) % 6
+
+
+def test_scan_pattern_mixes_hot_set_and_sweeps():
+    profile = small_profile(
+        duration=300.0, read_fraction=0.95, initial_files=30,
+        access_pattern="scan", hot_set_size=4, hot_read_fraction=0.5,
+    )
+    records = generate_workload(profile, seed=3)
+    counts = existing_read_counts(records)
+    by_index = {int(path.split("existing-")[1][:4]): count for path, count in counts.items()}
+    # The sweeps reach far beyond the hot set...
+    assert any(index >= profile.hot_set_size for index in by_index)
+    # ...while the hot set keeps absorbing repeated reads.
+    hot = sum(count for index, count in by_index.items() if index < profile.hot_set_size)
+    assert hot > 0
