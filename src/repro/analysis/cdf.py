@@ -7,7 +7,14 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import InvalidArgument
 
-__all__ = ["cumulative_distribution", "fraction_at_or_below", "percentile", "summarize_latencies"]
+__all__ = [
+    "cumulative_distribution",
+    "fraction_at_or_below",
+    "percentile",
+    "percentile_from_cdf",
+    "downsample_cdf",
+    "summarize_latencies",
+]
 
 
 def cumulative_distribution(
@@ -51,6 +58,40 @@ def percentile(values: Sequence[float], fraction: float) -> float:
         return 0.0
     index = min(int(math.ceil(fraction * len(ordered))) - 1, len(ordered) - 1)
     return ordered[max(index, 0)]
+
+
+def percentile_from_cdf(
+    cdf: Sequence[Tuple[float, float]], fraction: float
+) -> float:
+    """The ``fraction``-th quantile read off an already-computed CDF.
+
+    Works on the (value, cumulative fraction) pairs produced by
+    :func:`cumulative_distribution` or a streaming recorder's ``cdf()``,
+    so quantiles can be extracted from saved results without the raw
+    latency list."""
+    if not (0.0 <= fraction <= 1.0):
+        raise InvalidArgument("percentile fraction must be in [0, 1]")
+    if not cdf:
+        return 0.0
+    for value, cumulative in cdf:
+        if cumulative >= fraction:
+            return value
+    return cdf[-1][0]
+
+
+def downsample_cdf(
+    cdf: Sequence[Tuple[float, float]], points: int
+) -> List[Tuple[float, float]]:
+    """Thin a CDF to at most ``points`` pairs, always keeping the last."""
+    if points < 2:
+        raise InvalidArgument("a CDF needs at least two points")
+    if len(cdf) <= points:
+        return list(cdf)
+    step = len(cdf) / points
+    result = [cdf[min(int((i + 1) * step) - 1, len(cdf) - 1)] for i in range(points)]
+    if result[-1] != cdf[-1]:
+        result[-1] = cdf[-1]
+    return result
 
 
 def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:

@@ -11,6 +11,7 @@ __all__ = [
     "format_mean_latency_table",
     "format_latency_cdf_table",
     "format_policy_comparison",
+    "format_per_client_latency_table",
     "format_replacement_comparison",
     "ascii_cdf_plot",
 ]
@@ -81,6 +82,34 @@ def format_policy_comparison(results: Mapping[str, object], trace_name: str = ""
             f"{human_time(latency.percentile(0.5)):>10} {human_time(latency.percentile(0.95)):>10} "
             f"{result.blocks_written_to_disk:>8} {result.write_savings_blocks:>7} "
             f"{cache.get('hit_rate', 0.0) * 100:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_per_client_latency_table(
+    per_client: Mapping[int, Mapping[str, float]],
+    title: str = "per-client latency percentiles",
+) -> str:
+    """One row per client: operation count, mean, p50/p95/p99.
+
+    ``per_client`` is the mapping produced by
+    :meth:`repro.patsy.stats.LatencyRecorder.per_client_summary` (also on
+    :meth:`repro.patsy.simulator.SimulationResult.per_client_latency`);
+    the sharded recorders make these percentiles free, which is what
+    exposes the fairness effects behind the paper's Figure 2-4 CDFs.
+    """
+    lines = [title, ""]
+    header = f"{'client':>8} {'ops':>9} {'mean':>10} {'median':>10} {'p95':>10} {'p99':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for client in sorted(per_client):
+        stats = per_client[client]
+        lines.append(
+            f"{client:>8} {int(stats.get('operations', 0)):>9} "
+            f"{human_time(stats.get('mean_latency', 0.0)):>10} "
+            f"{human_time(stats.get('median_latency', 0.0)):>10} "
+            f"{human_time(stats.get('p95_latency', 0.0)):>10} "
+            f"{human_time(stats.get('p99_latency', 0.0)):>10}"
         )
     return "\n".join(lines)
 

@@ -98,6 +98,13 @@ class FlushConfig:
     #: flush in a separate daemon thread (the Section 5.2 lesson) rather than
     #: synchronously in the thread that needed a block.
     asynchronous: bool = True
+    #: free-block low-water mark for the asynchronous daemon, as a fraction
+    #: of the cache: when woken by allocation pressure the daemon keeps
+    #: flushing until this many blocks are allocatable again, so bursts of
+    #: allocations are absorbed without one wakeup per request.  0 keeps the
+    #: strict flush-on-demand behaviour (required by the UPS write-saving
+    #: policy, which must never write ahead of real pressure).
+    daemon_low_water: float = 0.0
 
     def __post_init__(self) -> None:
         if self.policy not in {"periodic", "ups", "nvram"}:
@@ -106,6 +113,8 @@ class FlushConfig:
             raise ConfigurationError("flush intervals must be positive")
         if self.nvram_bytes <= 0:
             raise ConfigurationError("nvram_bytes must be positive")
+        if not (0.0 <= self.daemon_low_water < 1.0):
+            raise ConfigurationError("daemon_low_water must be in [0, 1)")
 
 
 @dataclass(frozen=True)
@@ -180,6 +189,12 @@ class SimulationConfig:
     #: stop the simulation after this much simulated time (None = run the
     #: whole trace).
     max_simulated_time: Optional[float] = None
+    #: replay traces through the streaming engine: records are pulled from
+    #: the source one at a time and demultiplexed into per-client threads
+    #: without materialising the trace (memory stays O(clients + skew)
+    #: instead of O(records)).  The materialised path remains the default
+    #: for small tests.
+    streaming: bool = False
 
     def with_flush(self, flush: FlushConfig) -> "SimulationConfig":
         """A copy of this configuration with a different flush policy."""

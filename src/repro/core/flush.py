@@ -56,6 +56,10 @@ class FlushPolicy(ABC):
         self._work = None
         self.daemon_wakeups = 0
         self.policy_flushes = 0
+        #: space requests absorbed by an already-pending daemon wakeup.
+        self.wakeups_coalesced = 0
+        #: blocks flushed ahead of demand to restock the free-block pool.
+        self.flush_ahead_blocks = 0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -83,12 +87,34 @@ class FlushPolicy(ABC):
 
     def _request_space(self) -> None:
         assert self._work is not None
+        if self._work.is_signalled:
+            # A wakeup is already latched: this request rides along with it
+            # instead of costing another daemon round trip.
+            self.wakeups_coalesced += 1
+            return
         self._work.signal()
 
+    def stats(self) -> dict:
+        """Daemon and policy counters for reports and ablations."""
+        return {
+            "daemon_wakeups": self.daemon_wakeups,
+            "wakeups_coalesced": self.wakeups_coalesced,
+            "policy_flushes": self.policy_flushes,
+            "flush_ahead_blocks": self.flush_ahead_blocks,
+        }
+
     def _flush_daemon(self) -> Generator[Any, Any, None]:
-        """Flush dirty data whenever allocation pressure asks for space."""
+        """Flush dirty data whenever allocation pressure asks for space.
+
+        With ``FlushConfig.daemon_low_water`` set, each wakeup also flushes
+        *ahead* of demand until that fraction of the cache is allocatable
+        again, so a burst of allocations is absorbed by one wakeup instead
+        of one per request.  The default of 0 keeps strict flush-on-demand
+        (the UPS write-saving policy depends on never writing early).
+        """
         assert self.cache is not None
         cache = self.cache
+        low_water_blocks = int(cache.num_blocks * self.config.daemon_low_water)
         while True:
             yield from self._work.wait()
             self.daemon_wakeups += 1
@@ -105,6 +131,19 @@ class FlushPolicy(ABC):
                 if guard > 10 * cache.num_blocks:
                     break
             cache.notify_space_available()
+            # Flush ahead of demand down to the free-block low-water mark.
+            while (
+                low_water_blocks
+                and cache.free_count + cache.clean_count < low_water_blocks
+                and guard <= 10 * cache.num_blocks
+            ):
+                written = yield from cache.flush_oldest(
+                    whole_file=cache.flush_whole_file_on_replacement
+                )
+                if written == 0:
+                    break
+                self.flush_ahead_blocks += written
+                guard += 1
 
 
 class PeriodicUpdatePolicy(FlushPolicy):

@@ -42,8 +42,10 @@ from repro.errors import DeadlockError, SchedulerError
 
 __all__ = [
     "Delay",
+    "DELAY_ZERO",
     "WaitEvent",
     "Reschedule",
+    "RESCHEDULE",
     "Event",
     "Thread",
     "ThreadState",
@@ -96,6 +98,14 @@ class Reschedule:
 
     def __repr__(self) -> str:
         return "Reschedule()"
+
+
+#: interned command singletons.  Commands are immutable once constructed and
+#: the scheduler never stores them, so the same object can be yielded by any
+#: number of threads; replaying millions of trace operations then allocates
+#: no command objects for reschedules and zero-length delays.
+RESCHEDULE = Reschedule()
+DELAY_ZERO = Delay(0.0)
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +248,10 @@ class Thread:
         self._send_value: Any = None
         self._joiners: list[Thread] = []
         self._waiting_on: Optional[Event] = None
+        #: reusable delayed-heap entry ([wake_time, seq, thread]); a thread
+        #: has at most one entry in the heap at a time, so the list object is
+        #: recycled across delays instead of allocated per sleep.
+        self._heap_entry: Optional[list] = None
         #: time at which the thread became runnable/finished, for accounting.
         self.finished_at: Optional[float] = None
 
@@ -361,7 +375,9 @@ class Scheduler:
         self.rng = random.Random(seed)
         self.policy = policy if policy is not None else RandomSchedulingPolicy()
         self._runnable: list[Thread] = []
-        self._delayed: list[tuple[float, int, Thread]] = []
+        #: min-heap of [wake_time, seq, thread] entries (mutable lists so a
+        #: thread's entry can be recycled across repeated delays).
+        self._delayed: list[list] = []
         self._seq = itertools.count()
         self._threads: list[Thread] = []
         self._failures: list[Thread] = []
@@ -377,7 +393,7 @@ class Scheduler:
 
     def sleep(self, seconds: float) -> Generator[Any, Any, None]:
         """Generator helper: ``yield from scheduler.sleep(t)``."""
-        yield Delay(seconds)
+        yield DELAY_ZERO if seconds == 0 else Delay(seconds)
 
     # -- thread management --------------------------------------------------------
 
@@ -511,8 +527,16 @@ class Scheduler:
                 self._make_runnable(thread)
 
     def _step(self) -> None:
-        index = self.policy.select(self._runnable, self.rng)
-        thread = self._runnable.pop(index)
+        runnable = self._runnable
+        if len(runnable) == 1:
+            # Fast path shared by every policy: with a single runnable thread
+            # there is nothing to choose, so skip the policy dispatch (and,
+            # for the random policy, the RNG draw).  Replay workloads spend
+            # most steps here — one client thread running between I/Os.
+            thread = runnable.pop()
+        else:
+            index = self.policy.select(runnable, self.rng)
+            thread = runnable.pop(index)
         if not thread.alive:
             return
         self.current_thread = thread
@@ -534,7 +558,15 @@ class Scheduler:
     def _dispatch(self, thread: Thread, command: Any) -> None:
         if isinstance(command, Delay):
             thread.state = ThreadState.DELAYED
-            heapq.heappush(self._delayed, (self.now + command.seconds, next(self._seq), thread))
+            entry = thread._heap_entry
+            if entry is None:
+                thread._heap_entry = entry = [0.0, 0, thread]
+            # The entry is guaranteed out of the heap here (a DELAYED thread
+            # cannot yield another Delay before _release_expired pops it),
+            # so mutate and re-push instead of allocating a fresh tuple.
+            entry[0] = self.now + command.seconds
+            entry[1] = next(self._seq)
+            heapq.heappush(self._delayed, entry)
         elif isinstance(command, WaitEvent):
             consumed, value = command.event._consume_pending()
             if consumed:

@@ -14,13 +14,17 @@ Format, one operation per line::
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator, TextIO, Union
+from typing import Iterable, Iterator, TextIO, Union
 
 from repro.errors import TraceError
 from repro.patsy.sprite import SPRITE_OP_NAMES
-from repro.patsy.traces import TraceRecord, synthesize_missing_times
+from repro.patsy.traces import (
+    TraceRecord,
+    stream_synthesize_missing_times,
+    synthesize_missing_times,
+)
 
-__all__ = ["CodaTraceReader", "load_coda_trace"]
+__all__ = ["CodaTraceReader", "load_coda_trace", "iter_coda_trace"]
 
 
 class CodaTraceReader:
@@ -97,3 +101,23 @@ def load_coda_trace(
     if fill_missing_times:
         records = synthesize_missing_times(records)
     return records
+
+
+def iter_coda_trace(
+    source: Union[str, Path, TextIO], fill_missing_times: bool = True
+) -> Iterator[TraceRecord]:
+    """Stream a Coda-like trace without materialising it (the streaming
+    counterpart of :func:`load_coda_trace`; the input must be
+    time-ordered)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            reader: Iterable[TraceRecord] = CodaTraceReader(stream)
+            if fill_missing_times:
+                reader = stream_synthesize_missing_times(reader)
+            yield from reader
+        return
+    reader = CodaTraceReader(source)
+    if fill_missing_times:
+        yield from stream_synthesize_missing_times(reader)
+    else:
+        yield from reader

@@ -11,8 +11,21 @@ simulation time and of the overall simulation").
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.config import SimulationConfig, small_test_config
 from repro.core.cache import BlockCache
@@ -33,9 +46,122 @@ from repro.patsy.diskspec import disk_spec_by_name
 from repro.patsy.simdisk import SimulatedDisk
 from repro.patsy.simdriver import SimulatedDiskDriver
 from repro.patsy.stats import DEFAULT_PLUGINS, LatencyRecorder, StatisticsPlugin
-from repro.patsy.traces import TraceRecord, records_by_client
+from repro.patsy.traces import (
+    TraceRecord,
+    iter_trace,
+    load_trace,
+    records_by_client,
+    scan_trace_client_counts,
+)
 
-__all__ = ["PatsySimulator", "SimulationResult"]
+__all__ = ["PatsySimulator", "SimulationResult", "TraceSource"]
+
+#: anything the replayer accepts as a trace: a materialised record list, a
+#: path to an on-disk trace, an open text stream, or any record iterator
+#: (e.g. ``iter_sprite_trace(...)``).
+TraceSource = Union[Sequence[TraceRecord], str, Path, Iterable[TraceRecord]]
+
+
+class _TraceDemux:
+    """Pull-based demultiplexer feeding per-client replay threads from one
+    shared record iterator.
+
+    There is no pump thread: when a client thread needs its next record and
+    its queue is empty, it synchronously pulls from the iterator, parking
+    records that belong to other clients on their queues.  Keeping the pull
+    inside the consuming thread means streaming replay presents *exactly*
+    the same runnable-thread sequence to the scheduler as materialised
+    replay, so the two modes are reproducibly identical under the seeded
+    random scheduling policy.  Buffering is bounded by the timestamp skew
+    between clients (tracked in :attr:`peak_buffered`), never by the trace
+    length.
+
+    ``remaining`` optionally pre-declares per-client record counts (from a
+    scan pass); with it, a client whose records have run out gets ``None``
+    immediately instead of pulling — and buffering — the rest of the trace.
+    Without counts (discovery mode over an arbitrary iterator) the last
+    pull of an early-finishing client can buffer the remaining trace.
+    """
+
+    __slots__ = ("_iter", "_queues", "_finished", "_exhausted", "_on_new_client",
+                 "_remaining", "buffered", "peak_buffered", "records_read")
+
+    def __init__(
+        self,
+        records: Iterable[TraceRecord],
+        on_new_client: Optional[Callable[[int], None]] = None,
+        remaining: Optional[Dict[int, int]] = None,
+    ):
+        self._iter = iter(records)
+        self._queues: Dict[int, deque] = {}
+        self._finished: set[int] = set()
+        self._exhausted = False
+        self._on_new_client = on_new_client
+        self._remaining = dict(remaining) if remaining is not None else None
+        self.buffered = 0
+        self.peak_buffered = 0
+        self.records_read = 0
+
+    def add_client(self, client: int) -> None:
+        """Pre-register a client (no new-client callback fires for it)."""
+        if client not in self._queues:
+            self._queues[client] = deque()
+
+    def _enqueue(self, record: TraceRecord) -> None:
+        client = record.client
+        if client in self._finished:
+            return
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+            if self._on_new_client is not None:
+                self._on_new_client(client)
+        queue.append(record)
+        self.buffered += 1
+        if self.buffered > self.peak_buffered:
+            self.peak_buffered = self.buffered
+
+    def prime(self) -> bool:
+        """Read ahead until at least one client is known (discovery mode).
+        Returns False when the trace is empty."""
+        if self._queues:
+            return True
+        record = next(self._iter, None)
+        if record is None:
+            self._exhausted = True
+            return False
+        self.records_read += 1
+        self._enqueue(record)
+        return True
+
+    def next_record(self, client: int) -> Optional[TraceRecord]:
+        """The next record for ``client``, pulling the shared iterator as
+        far as needed; None once the trace holds nothing more for it."""
+        queue = self._queues.get(client)
+        if queue:
+            self.buffered -= 1
+            return queue.popleft()
+        remaining = self._remaining
+        if remaining is not None and not remaining.get(client):
+            return None
+        if not self._exhausted:
+            for record in self._iter:
+                self.records_read += 1
+                owner = record.client
+                if remaining is not None and owner in remaining:
+                    remaining[owner] -= 1
+                if owner == client:
+                    return record
+                self._enqueue(record)
+            self._exhausted = True
+        return None
+
+    def finish_client(self, client: int) -> None:
+        """Drop a finished client's queue (and any late records for it)."""
+        self._finished.add(client)
+        queue = self._queues.pop(client, None)
+        if queue:
+            self.buffered -= len(queue)
 
 
 @dataclass
@@ -53,6 +179,9 @@ class SimulationResult:
     #: dirty blocks that died in memory and never cost a disk write.
     write_savings_blocks: int = 0
     blocks_written_to_disk: int = 0
+    #: streaming-replay bookkeeping (peak demux buffering etc.); empty for
+    #: materialised replay.
+    stream_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
@@ -60,6 +189,10 @@ class SimulationResult:
 
     def cdf(self, op: Optional[str] = None) -> List[tuple[float, float]]:
         return self.latency.cdf(op)
+
+    def per_client_latency(self) -> Dict[int, dict]:
+        """Per-client operation counts, mean latency and percentiles."""
+        return self.latency.per_client_summary()
 
     def summary(self) -> dict:
         return {
@@ -74,6 +207,7 @@ class SimulationResult:
             "cache_hit_rate": self.cache_stats.get("hit_rate", 0.0),
             "write_savings_blocks": self.write_savings_blocks,
             "blocks_written_to_disk": self.blocks_written_to_disk,
+            "per_client_latency": self.per_client_latency(),
         }
 
 
@@ -146,6 +280,7 @@ class PatsySimulator:
         self.plugins: List[StatisticsPlugin] = [cls() for cls in (plugins or DEFAULT_PLUGINS)]
         self.errors = 0
         self._mounted = False
+        self._stream_stats: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ construction helpers
 
@@ -182,11 +317,24 @@ class PatsySimulator:
 
     def replay(
         self,
-        records: Sequence[TraceRecord],
+        records: TraceSource,
         trace_name: str = "",
         max_time: Optional[float] = None,
     ) -> SimulationResult:
-        """Replay a trace and return the measurements."""
+        """Replay a trace and return the measurements.
+
+        ``records`` may be a materialised record list, a path to an on-disk
+        trace, an open text stream, or any record iterator.  With
+        ``config.streaming`` set (or for any non-rewindable source) the
+        streaming engine replays without materialising the trace; both
+        engines produce identical measurements on the same trace.
+        """
+        is_path = isinstance(records, (str, Path))
+        is_sequence = not is_path and isinstance(records, Sequence)
+        if self.config.streaming or not (is_path or is_sequence):
+            return self.replay_stream(records, trace_name=trace_name, max_time=max_time)
+        if is_path:
+            records = load_trace(records)
         if not records:
             raise TraceError("cannot replay an empty trace")
         self.mount()
@@ -203,9 +351,124 @@ class PatsySimulator:
         self.latency.finish()
         return self.build_result(trace_name)
 
+    def replay_stream(
+        self,
+        source: TraceSource,
+        trace_name: str = "",
+        max_time: Optional[float] = None,
+        clients: Optional[Iterable[int]] = None,
+    ) -> SimulationResult:
+        """Replay a trace in streaming mode: records are pulled from the
+        source one at a time and demultiplexed into per-client threads, so
+        memory is constant in the trace length.
+
+        ``clients`` pre-declares the client population; when omitted it is
+        recovered with a cheap scan pass for on-disk traces (or from the
+        sequence itself), so streaming replay spawns the same client
+        threads in the same order as materialised replay and the two modes
+        yield identical measurements on a per-client time-ordered trace.
+        Sources that cannot be enumerated up-front (generators, streams)
+        fall back to discovery: a client's thread starts when its first
+        record surfaces.
+        """
+        self.mount()
+        limit = max_time if max_time is not None else self.config.max_simulated_time
+        records, known_clients, counts = self._open_trace_source(source, clients)
+        threads: List[Any] = []
+        demux: _TraceDemux
+
+        def spawn_client(client: int) -> None:
+            threads.append(
+                self.scheduler.spawn(
+                    self._client_thread_streaming,
+                    client,
+                    demux,
+                    limit,
+                    name=f"client-{client}",
+                )
+            )
+
+        demux = _TraceDemux(records, on_new_client=spawn_client, remaining=counts)
+        if known_clients is not None:
+            if not known_clients:
+                raise TraceError("cannot replay an empty trace")
+            for client in sorted(known_clients):
+                demux.add_client(client)
+            for client in sorted(known_clients):
+                spawn_client(client)
+        elif not demux.prime():
+            raise TraceError("cannot replay an empty trace")
+        index = 0
+        while index < len(threads):  # discovery may append threads mid-run
+            self.scheduler.run_until_complete(threads[index])
+            index += 1
+        self.latency.finish()
+        self._stream_stats = {
+            "records_replayed": demux.records_read,
+            "peak_buffered_records": demux.peak_buffered,
+            "clients": len(threads),
+        }
+        return self.build_result(trace_name)
+
+    def _open_trace_source(
+        self, source: TraceSource, clients: Optional[Iterable[int]]
+    ) -> tuple[Iterator[TraceRecord], Optional[List[int]], Optional[Dict[int, int]]]:
+        """Resolve a trace source to (record iterator, known client ids,
+        per-client record counts).  Counts — available whenever the source
+        can be enumerated cheaply — let the demux stop a finished client
+        from pulling (and buffering) the rest of the trace."""
+        known = sorted(set(clients)) if clients is not None else None
+        if isinstance(source, (str, Path)):
+            counts = scan_trace_client_counts(source)
+            if known is None:
+                known = sorted(counts)
+            return iter_trace(source), known, counts
+        if isinstance(source, Sequence):
+            counts = {}
+            for record in source:
+                counts[record.client] = counts.get(record.client, 0) + 1
+            if known is None:
+                known = sorted(counts)
+            return iter(source), known, counts
+        if hasattr(source, "read"):
+            return iter_trace(source), known, None
+        return iter(source), known, None
+
     def run_operations(self, records: Sequence[TraceRecord]) -> SimulationResult:
         """Convenience wrapper used by tests: replay and return the result."""
         return self.replay(records)
+
+    def _client_thread_streaming(
+        self, client: int, demux: _TraceDemux, max_time: Optional[float]
+    ) -> Generator[Any, Any, None]:
+        """Streaming twin of :meth:`_client_thread`: identical yield
+        sequence, but records are pulled from the demux on demand (the pull
+        itself never yields, so the scheduler sees the same execution as
+        the materialised path)."""
+        handles: Dict[str, int] = {}
+        while True:
+            record = demux.next_record(client)
+            if record is None:
+                break
+            if max_time is not None and record.timestamp > max_time:
+                break
+            delay = record.timestamp - self.scheduler.now
+            if delay > 0:
+                yield from self.scheduler.sleep(delay)
+            started = self.scheduler.now
+            try:
+                yield from self._execute(record, handles)
+            except FileSystemError:
+                self.errors += 1
+            self.latency.record(started, record.op, self.scheduler.now - started, client)
+        demux.finish_client(client)
+        # Close anything the trace left open.
+        for path, handle in list(handles.items()):
+            try:
+                yield from self.client.close(handle)
+            except FileSystemError:
+                self.errors += 1
+            handles.pop(path, None)
 
     def _client_thread(
         self, client: int, records: List[TraceRecord], max_time: Optional[float]
@@ -303,6 +566,7 @@ class PatsySimulator:
             plugin_reports=reports,
             write_savings_blocks=self.cache.stats.dirty_blocks_discarded,
             blocks_written_to_disk=self.cache.stats.blocks_written,
+            stream_stats=dict(self._stream_stats),
         )
         return result
 

@@ -19,9 +19,19 @@ from pathlib import Path
 from typing import Iterable, Iterator, TextIO, Union
 
 from repro.errors import TraceError
-from repro.patsy.traces import TraceRecord, synthesize_missing_times
+from repro.patsy.traces import (
+    TraceRecord,
+    stream_synthesize_missing_times,
+    synthesize_missing_times,
+)
 
-__all__ = ["SpriteTraceReader", "SPRITE_OP_NAMES", "load_sprite_trace", "sprite_trace"]
+__all__ = [
+    "SpriteTraceReader",
+    "SPRITE_OP_NAMES",
+    "load_sprite_trace",
+    "iter_sprite_trace",
+    "sprite_trace",
+]
 
 #: mapping from Sprite trace operation mnemonics to framework operations.
 SPRITE_OP_NAMES = {
@@ -126,6 +136,31 @@ def load_sprite_trace(
     if fill_missing_times:
         records = synthesize_missing_times(records)
     return records
+
+
+def iter_sprite_trace(
+    source: Union[str, Path, TextIO], fill_missing_times: bool = True
+) -> Iterator[TraceRecord]:
+    """Stream a Sprite-like trace without materialising it.
+
+    The streaming counterpart of :func:`load_sprite_trace` for
+    multi-million-line converted traces: records are parsed one line at a
+    time and missing operation times are filled by
+    :func:`repro.patsy.traces.stream_synthesize_missing_times`, whose
+    memory is bounded by concurrently open open..close brackets.  The
+    input file must be time-ordered (real converted traces are)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            reader: Iterable[TraceRecord] = SpriteTraceReader(stream)
+            if fill_missing_times:
+                reader = stream_synthesize_missing_times(reader)
+            yield from reader
+        return
+    reader = SpriteTraceReader(source)
+    if fill_missing_times:
+        yield from stream_synthesize_missing_times(reader)
+    else:
+        yield from reader
 
 
 def sprite_trace(name: str, scale: float = 1.0, seed: int = 0) -> list[TraceRecord]:

@@ -15,10 +15,11 @@ Sprite-like and Coda-like encodings (:mod:`repro.patsy.sprite`,
 
 from __future__ import annotations
 
+import heapq
 import io
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence, TextIO, Union
+from typing import Iterable, Iterator, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.errors import TraceError
 
@@ -28,6 +29,10 @@ __all__ = [
     "TraceWriter",
     "TraceReader",
     "load_trace",
+    "iter_trace",
+    "iter_trace_tuples",
+    "scan_trace_clients",
+    "scan_trace_client_counts",
     "save_trace",
     "records_by_client",
     "group_operations",
@@ -35,6 +40,7 @@ __all__ = [
     "trace_duration",
     "operation_mix",
     "synthesize_missing_times",
+    "stream_synthesize_missing_times",
 ]
 
 #: operations understood by the replayer.
@@ -140,6 +146,31 @@ class TraceReader:
         except (ValueError, TraceError) as exc:
             raise TraceError(f"trace line {line_number}: {exc}") from exc
 
+    def iter_tuples(self) -> Iterator[Tuple[float, int, str, str, int, int, str]]:
+        """Fast streaming parse: ``(timestamp, client, op, path, offset,
+        size, path2)`` tuples without :class:`TraceRecord` construction or
+        validation.  This is the measurement hot path for multi-million-line
+        traces; use :meth:`__iter__` when validated record objects are
+        needed (the replayer does)."""
+        for line_number, line in enumerate(self.stream, start=1):
+            if not line or line[0] == "#" or line == "\n":
+                continue
+            fields = line.rstrip("\n").split("\t")
+            try:
+                yield (
+                    float(fields[0]),
+                    int(fields[1]),
+                    fields[2],
+                    fields[3],
+                    int(fields[4]),
+                    int(fields[5]),
+                    fields[6] if len(fields) > 6 else "",
+                )
+            except (ValueError, IndexError) as exc:
+                if not line.strip():
+                    continue
+                raise TraceError(f"trace line {line_number}: {exc}") from exc
+
 
 def save_trace(records: Iterable[TraceRecord], path: Union[str, Path]) -> int:
     """Write records to ``path``; returns the number of records written."""
@@ -156,6 +187,74 @@ def load_trace(source: Union[str, Path, TextIO]) -> list[TraceRecord]:
     if isinstance(source, io.TextIOBase) or hasattr(source, "read"):
         return list(TraceReader(source))
     raise TraceError(f"cannot load a trace from {type(source).__name__}")
+
+
+def iter_trace(source: Union[str, Path, TextIO]) -> Iterator[TraceRecord]:
+    """Stream records from a path or open text stream, one at a time.
+
+    The streaming counterpart of :func:`load_trace`: nothing is
+    materialised, so a multi-million-record trace costs one record of
+    memory.  When ``source`` is a path the file is closed when the
+    iterator is exhausted or garbage-collected."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            yield from TraceReader(stream)
+        return
+    if isinstance(source, io.TextIOBase) or hasattr(source, "read"):
+        yield from TraceReader(source)
+        return
+    raise TraceError(f"cannot stream a trace from {type(source).__name__}")
+
+
+def iter_trace_tuples(
+    source: Union[str, Path, TextIO]
+) -> Iterator[Tuple[float, int, str, str, int, int, str]]:
+    """Stream raw ``(timestamp, client, op, path, offset, size, path2)``
+    tuples (see :meth:`TraceReader.iter_tuples`) from a path or stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            yield from TraceReader(stream).iter_tuples()
+        return
+    if isinstance(source, io.TextIOBase) or hasattr(source, "read"):
+        yield from TraceReader(source).iter_tuples()
+        return
+    raise TraceError(f"cannot stream a trace from {type(source).__name__}")
+
+
+def scan_trace_client_counts(source: Union[str, Path, TextIO]) -> dict[int, int]:
+    """One cheap pass over a trace counting records per client id.
+
+    Streaming replay uses this to spawn the same client threads, in the
+    same sorted order, as materialised replay, and to let a finished
+    client stop pulling the shared iterator the moment its records run
+    out — memory is O(#clients), never O(#records)."""
+
+    def scan(stream: TextIO) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for line in stream:
+            if not line or line[0] == "#" or line == "\n":
+                continue
+            fields = line.split("\t", 2)
+            if len(fields) < 2:
+                continue
+            try:
+                client = int(fields[1])
+            except ValueError:
+                continue
+            counts[client] = counts.get(client, 0) + 1
+        return counts
+
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            return scan(stream)
+    if isinstance(source, io.TextIOBase) or hasattr(source, "read"):
+        return scan(source)
+    raise TraceError(f"cannot scan a trace from {type(source).__name__}")
+
+
+def scan_trace_clients(source: Union[str, Path, TextIO]) -> list[int]:
+    """One cheap pass over a trace collecting the sorted client ids."""
+    return sorted(scan_trace_client_counts(source))
 
 
 # --------------------------------------------------------------------------- analysis helpers
@@ -263,3 +362,85 @@ def synthesize_missing_times(records: Sequence[TraceRecord]) -> list[TraceRecord
         result.append(body[-1])
     result.sort(key=lambda record: record.timestamp)
     return result
+
+
+def _adjust_group(body: list[TraceRecord]) -> list[TraceRecord]:
+    """Apply the equidistant missing-time placement to one open..close group
+    (identical rules to :func:`synthesize_missing_times`)."""
+    if len(body) < 3 or body[0].op != "open" or body[-1].op != "close":
+        return body
+    open_time = body[0].timestamp
+    close_time = body[-1].timestamp
+    inner = body[1:-1]
+    missing = [r for r in inner if r.timestamp == open_time]
+    if not missing or close_time <= open_time:
+        return body
+    step = (close_time - open_time) / (len(inner) + 1)
+    adjusted = [body[0]]
+    for index, record in enumerate(inner, start=1):
+        if record.timestamp == open_time:
+            adjusted.append(record.shifted(step * index))
+        else:
+            adjusted.append(record)
+    adjusted.append(body[-1])
+    return adjusted
+
+
+def stream_synthesize_missing_times(
+    records: Iterable[TraceRecord],
+) -> Iterator[TraceRecord]:
+    """Streaming counterpart of :func:`synthesize_missing_times`.
+
+    The input must be time-ordered (which every on-disk trace is).  Open..
+    close brackets are buffered until their close arrives — an adjusted
+    read/write gets a timestamp anywhere inside the bracket, so nothing
+    from a bracket can be emitted before its close fixes the spacing.
+    Adjusted and pass-through records merge through a small reorder heap
+    and are released once no still-open bracket could produce an earlier
+    timestamp.  Memory is bounded by the records inside concurrently open
+    brackets (plus the reorder heap), never by the trace length.
+    """
+    pending: list[tuple[float, int, TraceRecord]] = []  # reorder min-heap
+    sequence = 0
+    open_groups: dict[tuple[int, str], list[TraceRecord]] = {}
+    open_times: dict[tuple[int, str], float] = {}
+
+    def push(record: TraceRecord) -> None:
+        nonlocal sequence
+        heapq.heappush(pending, (record.timestamp, sequence, record))
+        sequence += 1
+
+    def release(watermark: float) -> Iterator[TraceRecord]:
+        while pending and pending[0][0] <= watermark:
+            yield heapq.heappop(pending)[2]
+
+    for record in records:
+        key = (record.client, record.path)
+        if record.op == "open":
+            # A re-open without a close abandons the previous bracket; its
+            # records pass through unadjusted, exactly as in the batch
+            # version (where the abandoned group never gets a close).
+            stale = open_groups.pop(key, None)
+            if stale is not None:
+                for abandoned in stale:
+                    push(abandoned)
+            open_groups[key] = [record]
+            open_times[key] = record.timestamp
+        elif key in open_groups:
+            open_groups[key].append(record)
+            if record.op == "close":
+                for adjusted in _adjust_group(open_groups.pop(key)):
+                    push(adjusted)
+                del open_times[key]
+        else:
+            push(record)
+        # Nothing still buffered inside an open bracket can surface before
+        # that bracket's open timestamp.
+        watermark = min(open_times.values()) if open_times else record.timestamp
+        yield from release(watermark)
+    # EOF: unclosed brackets pass through unadjusted, then drain the heap.
+    for body in open_groups.values():
+        for record in body:
+            push(record)
+    while pending:
+        yield heapq.heappop(pending)[2]

@@ -141,3 +141,56 @@ def test_periodic_policy_counts_flushes(scheduler):
     dirty_blocks(scheduler, cache, 3, 3)
     scheduler.run(until=30.0)
     assert policy.policy_flushes >= 3
+
+
+def test_daemon_low_water_flushes_ahead_of_demand(scheduler):
+    config = FlushConfig(policy="ups", daemon_low_water=0.5)
+    cache, policy, written = make_cache_with_policy(scheduler, config, blocks=8)
+    dirty_blocks(scheduler, cache, 3, 8)  # fill the cache with dirty data
+
+    def allocate_one():
+        yield from cache.allocate(4, 0)
+
+    run(scheduler, allocate_one)
+    scheduler.run(until=scheduler.now + 1.0)  # let the daemon finish restocking
+    # One wakeup restocked the free pool to the low-water mark, not just the
+    # single block the allocation demanded.
+    assert policy.daemon_wakeups == 1
+    assert policy.flush_ahead_blocks > 0
+    assert cache.free_count + cache.clean_count >= 4
+    # The next allocations are served from the restocked pool: no new wakeup.
+    def allocate_more():
+        yield from cache.allocate(4, 1)
+        yield from cache.allocate(4, 2)
+
+    run(scheduler, allocate_more)
+    assert policy.daemon_wakeups == 1
+    stats = policy.stats()
+    assert stats["flush_ahead_blocks"] == policy.flush_ahead_blocks
+    assert set(stats) == {
+        "daemon_wakeups",
+        "wakeups_coalesced",
+        "policy_flushes",
+        "flush_ahead_blocks",
+    }
+
+
+def test_daemon_low_water_default_keeps_demand_only_behaviour(scheduler):
+    cache, policy, written = make_cache_with_policy(
+        scheduler, FlushConfig(policy="ups"), blocks=8
+    )
+    dirty_blocks(scheduler, cache, 3, 8)
+
+    def allocate_one():
+        yield from cache.allocate(4, 0)
+
+    run(scheduler, allocate_one)
+    # Strict on-demand flushing: nothing was written ahead of need.
+    assert policy.flush_ahead_blocks == 0
+
+
+def test_daemon_low_water_validation():
+    with pytest.raises(ConfigurationError):
+        FlushConfig(daemon_low_water=1.0)
+    with pytest.raises(ConfigurationError):
+        FlushConfig(daemon_low_water=-0.1)
