@@ -11,8 +11,12 @@ benchmark run stays in the minutes range.
 
 from __future__ import annotations
 
+import os
+
 #: fraction of the full synthetic trace replayed by the benchmarks.
-BENCH_TRACE_SCALE = 0.4
+#: Overridable via the environment so CI can run a reduced smoke pass
+#: (e.g. ``BENCH_TRACE_SCALE=0.25``) while local runs keep the default.
+BENCH_TRACE_SCALE = float(os.environ.get("BENCH_TRACE_SCALE", "0.4"))
 
 #: seed shared by every benchmark run (results are deterministic).
 BENCH_SEED = 2

@@ -1,0 +1,124 @@
+"""Fairness under concurrency: one hog client vs many small clients.
+
+PR 2 sharded the latency recorder per client precisely so that effects
+like this become visible: a single "hog" streaming large writes through
+the shared cache, flush daemon and disk queue inflates the *tail* latency
+of every small interactive client, even though the small clients' medians
+stay near zero (their working sets remain cached).  This benchmark replays
+the same small-client population twice — once alone, once next to the hog
+— and reports the per-client p99 spread through
+``format_per_client_latency_table``, asserting that the hog measurably
+inflates the small clients' tails.
+
+Results land in ``BENCH_fairness.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SEED, BENCH_TRACE_SCALE, run_once
+from repro.analysis.report import format_per_client_latency_table
+from repro.config import small_test_config
+from repro.patsy.simulator import PatsySimulator
+from repro.patsy.traces import TraceRecord
+from repro.units import KB
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fairness.json"
+
+SMALL_CLIENTS = 6
+DURATION = 60.0 * max(BENCH_TRACE_SCALE, 0.1) / 0.4
+
+
+def small_client_records(duration: float) -> list[TraceRecord]:
+    """Interactive traffic: stat + one cached-size read every ~0.7 s."""
+    records = []
+    for client in range(1, SMALL_CLIENTS + 1):
+        t = 0.05 * client
+        index = 0
+        while t < duration:
+            path = f"/small/c{client}-{index % 8}.dat"
+            records.append(TraceRecord(t, client, "stat", path))
+            records.append(TraceRecord(t + 0.02, client, "open", path))
+            records.append(TraceRecord(t + 0.04, client, "read", path, offset=0, size=8 * KB))
+            records.append(TraceRecord(t + 0.06, client, "close", path))
+            t += 0.7
+            index += 1
+    return records
+
+
+def hog_records(duration: float) -> list[TraceRecord]:
+    """The hog: 256 KB files written back to back for the whole run."""
+    records = []
+    t = 0.0
+    fileno = 0
+    while t < duration:
+        path = f"/hog/big-{fileno:04d}.dat"
+        records.append(TraceRecord(t, 0, "open", path))
+        t += 0.01
+        for offset in range(0, 256 * 1024, 16 * 1024):
+            records.append(TraceRecord(t, 0, "write", path, offset=offset, size=16 * KB))
+            t += 0.02
+        records.append(TraceRecord(t, 0, "close", path))
+        t += 0.05
+        fileno += 1
+    return records
+
+
+def replay(records) -> dict:
+    records = sorted(records, key=lambda r: (r.timestamp, r.client))
+    result = PatsySimulator(small_test_config(seed=BENCH_SEED)).replay(
+        records, trace_name="fairness"
+    )
+    return result.per_client_latency()
+
+
+def run_fairness():
+    small = small_client_records(DURATION)
+    baseline = replay(small)
+    contended = replay(small + hog_records(DURATION))
+    return baseline, contended
+
+
+def test_hog_client_inflates_small_client_tails(benchmark):
+    baseline, contended = run_once(benchmark, run_fairness)
+    print()
+    print(format_per_client_latency_table(baseline, title="small clients alone"))
+    print()
+    print(format_per_client_latency_table(contended, title="same clients next to the hog"))
+
+    clients = list(range(1, SMALL_CLIENTS + 1))
+    assert set(clients) <= set(contended) and 0 in contended
+    base_p99 = [baseline[c]["p99_latency"] for c in clients]
+    hog_p99 = [contended[c]["p99_latency"] for c in clients]
+    inflation = [
+        with_hog / max(alone, 1e-9) for alone, with_hog in zip(base_p99, hog_p99)
+    ]
+    print()
+    print(
+        "p99 inflation per small client: "
+        + "  ".join(f"c{c}={f:.1f}x" for c, f in zip(clients, inflation))
+    )
+    # Every small client's tail must be visibly inflated by the hog, and the
+    # hog itself must dominate the operation count.
+    assert all(f > 2.0 for f in inflation), f"no contention visible: {inflation}"
+    assert contended[0]["operations"] > max(contended[c]["operations"] for c in clients)
+    # The medians stay cheap (cached): the damage is a *tail* phenomenon,
+    # which is exactly what per-client percentile shards exist to expose.
+    assert all(
+        contended[c]["median_latency"] < contended[c]["p99_latency"] / 10 for c in clients
+    )
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "baseline_p99": dict(zip(map(str, clients), base_p99)),
+                "contended_p99": dict(zip(map(str, clients), hog_p99)),
+                "inflation": dict(zip(map(str, clients), inflation)),
+                "hog_operations": contended[0]["operations"],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

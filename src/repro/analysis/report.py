@@ -13,6 +13,7 @@ __all__ = [
     "format_policy_comparison",
     "format_per_client_latency_table",
     "format_replacement_comparison",
+    "format_volume_table",
     "ascii_cdf_plot",
 ]
 
@@ -147,6 +148,66 @@ def format_replacement_comparison(
             f"{int(stats.get('policy_adaptations', 0)):>12} "
             f"{per_eviction:>11.2f}"
         )
+    return "\n".join(lines)
+
+
+def format_volume_table(
+    volume_stats: Mapping[str, object],
+    title: str = "storage-array volumes",
+) -> str:
+    """Per-volume hit-rate/utilisation/queue table plus an array rollup.
+
+    ``volume_stats`` is :attr:`repro.patsy.simulator.SimulationResult.volume_stats`
+    (``{"per_volume": {...}, "rollup": {...}}``, produced for storage-array
+    runs).  One row per volume: cache hit rate of the volume's shard, blocks
+    written, mean disk utilisation/queue length/response time over the
+    volume's disks.  The rollup line aggregates the whole array.
+    """
+    per_volume = volume_stats.get("per_volume", {}) if volume_stats else {}
+    rollup = volume_stats.get("rollup", {}) if volume_stats else {}
+    if not per_volume:
+        return "(no per-volume statistics: single-volume run)"
+    lines = [title, ""]
+    header = (
+        f"{'volume':<8} {'disks':>5} {'hit%':>6} {'written':>8} "
+        f"{'disk-util%':>11} {'queue':>7} {'resp':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(per_volume):
+        entry = per_volume[name]
+        disks = entry.get("disks", {})
+        n_disks = max(len(disks), 1)
+        utilisation = sum(d.get("utilisation", 0.0) for d in disks.values()) / n_disks
+        queue = sum(d.get("mean_queue_length", 0.0) for d in disks.values()) / n_disks
+        response = sum(d.get("mean_response_time", 0.0) for d in disks.values()) / n_disks
+        cache = entry.get("cache", {})
+        hit = cache.get("hit_rate")
+        written = entry.get("layout", {}).get("blocks_written", 0)
+        lines.append(
+            f"{name:<8} {len(disks):>5} "
+            f"{(hit * 100 if hit is not None else 0.0):>5.1f}% {written:>8} "
+            f"{utilisation * 100:>10.1f}% {queue:>7.2f} {human_time(response):>10}"
+        )
+    if rollup:
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'array':<8} {rollup.get('disks', 0):>5} "
+            f"{rollup.get('cache_hit_rate', 0.0) * 100:>5.1f}% "
+            f"{rollup.get('blocks_written', 0):>8} "
+            f"{rollup.get('mean_disk_utilisation', 0.0) * 100:>10.1f}% "
+            f"{'':>7} {'':>10}"
+        )
+        lines.append(
+            f"placement={rollup.get('placement', '?')} shard={rollup.get('shard', '?')} "
+            f"volumes={rollup.get('volumes', 0)} buses={rollup.get('buses', 0)} "
+            f"disk-ops={rollup.get('disk_operations', 0)}"
+        )
+        if "governor_wakeups" in rollup:
+            lines.append(
+                f"governor: wakeups={rollup['governor_wakeups']} "
+                f"flushes={rollup['governor_flushes']}"
+            )
     return "\n".join(lines)
 
 

@@ -22,8 +22,11 @@ __all__ = [
     "FlushConfig",
     "LayoutConfig",
     "HostConfig",
+    "ArrayConfig",
     "SimulationConfig",
+    "DAEMON_LOW_WATER_DEFAULTS",
     "sprite_server_config",
+    "sun4_280_config",
     "small_test_config",
 ]
 
@@ -77,6 +80,26 @@ class CacheConfig:
         return self.size_bytes // self.block_size
 
 
+#: Per-policy defaults for :attr:`FlushConfig.daemon_low_water`, applied when
+#: the field is left at ``None``.  Rationale:
+#:
+#: * ``periodic`` — 1/16 of the cache.  The update daemon writes on a timer
+#:   anyway, so flushing slightly ahead of allocation pressure costs no extra
+#:   write traffic in steady state but absorbs allocation bursts with one
+#:   daemon wakeup instead of one per blocked allocation.
+#: * ``ups`` — 0.  Write saving *is* the policy: every block written ahead of
+#:   real pressure is a block that might have died in memory, so the UPS
+#:   experiment must stay strictly flush-on-demand.
+#: * ``nvram`` — 0.  The NVRAM write-behind daemon already drains at its own
+#:   high-water mark; a second flush-ahead would fight it for the same blocks
+#:   and blur the "drain only when the NVRAM fills" semantics being measured.
+DAEMON_LOW_WATER_DEFAULTS = {
+    "periodic": 1.0 / 16.0,
+    "ups": 0.0,
+    "nvram": 0.0,
+}
+
+
 @dataclass(frozen=True)
 class FlushConfig:
     """Delayed-write (cache flush) policy configuration.
@@ -101,10 +124,11 @@ class FlushConfig:
     #: free-block low-water mark for the asynchronous daemon, as a fraction
     #: of the cache: when woken by allocation pressure the daemon keeps
     #: flushing until this many blocks are allocatable again, so bursts of
-    #: allocations are absorbed without one wakeup per request.  0 keeps the
-    #: strict flush-on-demand behaviour (required by the UPS write-saving
-    #: policy, which must never write ahead of real pressure).
-    daemon_low_water: float = 0.0
+    #: allocations are absorbed without one wakeup per request.  ``None``
+    #: selects the per-policy default from :data:`DAEMON_LOW_WATER_DEFAULTS`;
+    #: 0 keeps the strict flush-on-demand behaviour (required by the UPS
+    #: write-saving policy, which must never write ahead of real pressure).
+    daemon_low_water: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.policy not in {"periodic", "ups", "nvram"}:
@@ -113,8 +137,14 @@ class FlushConfig:
             raise ConfigurationError("flush intervals must be positive")
         if self.nvram_bytes <= 0:
             raise ConfigurationError("nvram_bytes must be positive")
-        if not (0.0 <= self.daemon_low_water < 1.0):
+        if self.daemon_low_water is not None and not (0.0 <= self.daemon_low_water < 1.0):
             raise ConfigurationError("daemon_low_water must be in [0, 1)")
+
+    def resolved_daemon_low_water(self) -> float:
+        """The effective flush-ahead low-water mark for this policy."""
+        if self.daemon_low_water is not None:
+            return self.daemon_low_water
+        return DAEMON_LOW_WATER_DEFAULTS[self.policy]
 
 
 @dataclass(frozen=True)
@@ -129,6 +159,10 @@ class LayoutConfig:
     cleaner_high_water: float = 0.4
     #: cleaner policy: "greedy" or "cost-benefit".
     cleaner_policy: str = "cost-benefit"
+    #: cost-benefit age normalisation (seconds): a segment this old doubles
+    #: its benefit score relative to a fresh one (Sprite's utilisation-vs-age
+    #: trade-off; see :class:`repro.core.storage.cleaner.CostBenefitCleaner`).
+    cleaner_age_scale: float = 30.0
     #: FFS-style layout parameters (used when kind == "ffs").
     cylinder_group_size: int = 2 * MB
 
@@ -141,6 +175,8 @@ class LayoutConfig:
             raise ConfigurationError("cleaner water marks must satisfy 0 <= low < high <= 1")
         if self.cleaner_policy not in {"greedy", "cost-benefit"}:
             raise ConfigurationError(f"unknown cleaner policy {self.cleaner_policy!r}")
+        if self.cleaner_age_scale <= 0:
+            raise ConfigurationError("cleaner_age_scale must be positive")
 
 
 @dataclass(frozen=True)
@@ -174,6 +210,91 @@ class HostConfig:
 
 
 @dataclass(frozen=True)
+class ArrayConfig:
+    """Multi-volume storage-array configuration.
+
+    The traced Sprite server was a Sun 4/280 with ten HP 97560 disks on
+    three SCSI buses carved into more than a dozen file systems (Section
+    5.1).  An array groups the machine's disks into ``volumes`` independent
+    volumes — each with its own storage layout, cache shard and flush daemon
+    — and routes files (or individual blocks, for striping) onto them with a
+    pluggable placement policy.  When ``SimulationConfig.array`` is set it
+    takes precedence over ``HostConfig.num_disks``/``num_buses`` for the
+    simulated hardware complement; the remaining host knobs (disk model,
+    bus bandwidth, I/O scheduler) still apply.
+    """
+
+    #: number of independent volumes the disks are carved into.
+    volumes: int = 1
+    #: number of shared SCSI buses; disks attach round-robin by global index,
+    #: so a volume's disks spread over the buses exactly like the real
+    #: machine's.
+    buses: int = 1
+    #: disks attached to each bus (total = buses * disks_per_bus unless
+    #: ``num_disks`` overrides it — the Sun 4/280's 10-on-3 is uneven).
+    disks_per_bus: int = 1
+    #: explicit total disk count (None = buses * disks_per_bus).
+    num_disks: Optional[int] = None
+    #: placement policy routing files/blocks to volumes: "hash" (whole file
+    #: by name hash), "stripe" (round-robin stripe units across volumes) or
+    #: "directory" (files co-locate with their parent directory).
+    placement: str = "hash"
+    #: stripe unit in file blocks (placement == "stripe").
+    stripe_unit_blocks: int = 16
+    #: cache sharding: "per-volume" (one BlockCache shard per volume behind
+    #: the ShardedCache façade) or "unified" (one cache over all volumes).
+    shard: str = "per-volume"
+    #: aggregate dirty-ratio high-water mark at which the shared governor
+    #: starts draining the dirtiest shard (1.0 disables the governor).
+    governor_high_water: float = 0.85
+    #: aggregate dirty ratio at which the governor stops draining.
+    governor_low_water: float = 0.70
+    #: how often (simulated seconds) the governor re-examines the shards.
+    governor_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.volumes < 1:
+            raise ConfigurationError("an array needs at least one volume")
+        if self.buses < 1 or self.disks_per_bus < 1:
+            raise ConfigurationError("need at least one bus and one disk per bus")
+        if self.num_disks is not None and self.num_disks < 1:
+            raise ConfigurationError("num_disks must be positive")
+        disks = self.total_disks
+        if disks < self.volumes:
+            raise ConfigurationError("each volume needs at least one disk")
+        if self.buses > disks:
+            raise ConfigurationError("more buses than disks makes no sense")
+        if self.placement not in {"hash", "stripe", "directory"}:
+            raise ConfigurationError(f"unknown placement policy {self.placement!r}")
+        if self.stripe_unit_blocks < 1:
+            raise ConfigurationError("stripe_unit_blocks must be positive")
+        if self.shard not in {"per-volume", "unified"}:
+            raise ConfigurationError(f"unknown cache shard policy {self.shard!r}")
+        if not (0.0 <= self.governor_low_water <= self.governor_high_water <= 1.0):
+            raise ConfigurationError("governor water marks must satisfy 0 <= low <= high <= 1")
+        if self.governor_interval <= 0:
+            raise ConfigurationError("governor_interval must be positive")
+
+    @property
+    def total_disks(self) -> int:
+        return self.num_disks if self.num_disks is not None else self.buses * self.disks_per_bus
+
+    def bus_for_disk(self, disk_index: int) -> int:
+        """Disks are spread round-robin over the available buses."""
+        return disk_index % self.buses
+
+    def disks_of_volume(self, volume_index: int) -> range:
+        """Global disk indices belonging to one volume (contiguous split;
+        the first ``total_disks % volumes`` volumes get the spare disks)."""
+        if not (0 <= volume_index < self.volumes):
+            raise ConfigurationError(f"no volume {volume_index} in a {self.volumes}-volume array")
+        disks = self.total_disks
+        base, extra = divmod(disks, self.volumes)
+        start = volume_index * base + min(volume_index, extra)
+        return range(start, start + base + (1 if volume_index < extra else 0))
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Complete configuration of a Patsy simulation run."""
 
@@ -181,6 +302,9 @@ class SimulationConfig:
     flush: FlushConfig = field(default_factory=FlushConfig)
     layout: LayoutConfig = field(default_factory=LayoutConfig)
     host: HostConfig = field(default_factory=HostConfig)
+    #: multi-volume storage array; None keeps the classic single-volume
+    #: assembly (one cache, one volume over all of the host's disks).
+    array: Optional[ArrayConfig] = None
     #: random seed for the scheduler and any synthesised parameters.
     seed: int = 0
     #: emit interval statistics every this many seconds of simulated time
@@ -220,6 +344,42 @@ def sprite_server_config(scale: float = 1.0, seed: int = 0) -> SimulationConfig:
         flush=FlushConfig(policy="periodic", nvram_bytes=nvram_bytes),
         layout=LayoutConfig(kind="lfs"),
         host=HostConfig(num_disks=10, num_buses=3),
+        seed=seed,
+    )
+
+
+def sun4_280_config(
+    scale: float = 1.0,
+    seed: int = 0,
+    volumes: int = 5,
+    placement: str = "hash",
+    num_disks: int = 10,
+    buses: int = 3,
+) -> SimulationConfig:
+    """The paper's evaluation machine as a storage array.
+
+    A Sun 4/280 file server with ten HP 97560 disks on three SCSI-2 buses
+    (Section 5.1), modelled as ``volumes`` independent volumes (the real
+    machine carved the ten disks into fourteen file systems) with per-volume
+    cache shards and flush daemons.  ``scale`` shrinks the memory sizes
+    exactly as in :func:`sprite_server_config`.
+    """
+    if scale <= 0 or scale > 1.0:
+        raise ConfigurationError("scale must be in (0, 1]")
+    cache_bytes = max(int(128 * MB * scale), 64 * DEFAULT_BLOCK_SIZE * max(volumes, 1))
+    nvram_bytes = max(int(4 * MB * scale), 8 * DEFAULT_BLOCK_SIZE * max(volumes, 1))
+    return SimulationConfig(
+        cache=CacheConfig(size_bytes=cache_bytes),
+        flush=FlushConfig(policy="periodic", nvram_bytes=nvram_bytes),
+        layout=LayoutConfig(kind="lfs"),
+        host=HostConfig(num_disks=num_disks, num_buses=buses),
+        array=ArrayConfig(
+            volumes=volumes,
+            buses=buses,
+            disks_per_bus=-(-num_disks // buses),
+            num_disks=num_disks,
+            placement=placement,
+        ),
         seed=seed,
     )
 

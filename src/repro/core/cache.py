@@ -244,12 +244,19 @@ class BlockCache:
 
     # ------------------------------------------------------------------ waiting helpers
 
-    def wait_block_ready(self) -> Generator[Any, Any, None]:
+    def wait_block_ready(
+        self, file_id: Optional[int] = None, block_no: Optional[int] = None
+    ) -> Generator[Any, Any, None]:
         """Wait until some in-flight block I/O completes (spurious wake-ups
-        are possible; callers re-check their condition in a loop)."""
+        are possible; callers re-check their condition in a loop).  The
+        optional ``(file_id, block_no)`` identifies the block being waited
+        for; a plain cache has a single completion event, but the sharded
+        façade uses the identity to wait on the owning shard."""
         yield from self._io_done.wait()
 
-    def notify_block_ready(self) -> None:
+    def notify_block_ready(
+        self, file_id: Optional[int] = None, block_no: Optional[int] = None
+    ) -> None:
         self._io_done.signal()
 
     # ------------------------------------------------------------------ allocation

@@ -312,7 +312,9 @@ class AbstractClientInterface:
     def _create_in(
         self, parent: DirectoryFile, name: str, kind: FileKind
     ) -> Generator[Any, Any, BaseFile]:
-        inode = self.fs.layout.allocate_inode(kind)
+        # The parent directory and leaf name route the new file to a volume
+        # in multi-volume arrays (directory-affinity / hash placement).
+        inode = self.fs.layout.allocate_inode(kind, parent_id=parent.file_id, name=name)
         if kind is FileKind.DIRECTORY:
             inode.nlink = 2
             parent.inode.nlink += 1

@@ -132,6 +132,17 @@ class DriverStatistics:
             return 0.0
         return sum(self.response_times) / len(self.response_times)
 
+    @property
+    def busy_time(self) -> float:
+        """Total time the device spent servicing requests."""
+        return sum(self.service_times)
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the device was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_time / elapsed, 1.0)
+
 
 class DiskDriver(ABC):
     """Base disk driver: queueing, scheduling and completion plumbing.

@@ -23,7 +23,7 @@ from repro.core.flush import FlushPolicy
 from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
 from repro.core.namespace import Namespace
 from repro.core.scheduler import Scheduler
-from repro.core.storage.cleaner import CleanerDaemon
+from repro.core.storage.cleaner import CleanerDaemon, CleanerSet
 from repro.core.storage.layout import StorageLayout
 from repro.errors import FileSystemError, StorageError
 from repro.core.storage.volume import Volume
@@ -41,7 +41,8 @@ class FileSystem:
         layout: StorageLayout,
         datamover: DataMover,
         flush_policy: Optional[FlushPolicy] = None,
-        cleaner: Optional[CleanerDaemon] = None,
+        # One CleanerDaemon, or a CleanerSet fanning out to one per volume.
+        cleaner: Optional["CleanerDaemon | CleanerSet"] = None,
     ):
         self.scheduler = scheduler
         self.cache = cache
@@ -64,6 +65,10 @@ class FileSystem:
 
     @property
     def volume(self) -> Volume:
+        """The storage under the layout: a single :class:`Volume`, or a
+        :class:`~repro.core.storage.array.VolumeSet` for multi-volume
+        arrays (both expose ``block_size``, ``total_blocks`` and
+        ``flush``, which is all the file system touches here)."""
         return self.layout.volume
 
     def root_directory(self) -> DirectoryFile:

@@ -192,7 +192,7 @@ class BaseFile:
             block = cache.lookup(self.file_id, block_no)
             if block is not None:
                 if block.busy:
-                    yield from cache.wait_block_ready()
+                    yield from cache.wait_block_ready(self.file_id, block_no)
                     continue
                 return block
             try:
@@ -208,7 +208,7 @@ class BaseFile:
         finally:
             block.busy = False
             block.unpin()
-            cache.notify_block_ready()
+            cache.notify_block_ready(self.file_id, block_no)
         return block
 
     def _block_for_write(
@@ -219,7 +219,7 @@ class BaseFile:
             block = cache.lookup(self.file_id, block_no)
             if block is not None:
                 if block.busy:
-                    yield from cache.wait_block_ready()
+                    yield from cache.wait_block_ready(self.file_id, block_no)
                     continue
                 return block
             try:
@@ -239,7 +239,7 @@ class BaseFile:
             finally:
                 block.busy = False
                 block.unpin()
-                cache.notify_block_ready()
+                cache.notify_block_ready(self.file_id, block_no)
         return block
 
     def __repr__(self) -> str:

@@ -26,18 +26,23 @@ exact change Section 5.2 describes as a lesson learnt in the simulator.
 from __future__ import annotations
 
 from abc import ABC
-from typing import Any, Generator, Optional
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
 from repro.config import FlushConfig
 from repro.core.cache import BlockCache
 from repro.core.scheduler import Scheduler, Thread
 from repro.errors import ConfigurationError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.storage.array import ShardedCache
+
 __all__ = [
     "FlushPolicy",
     "PeriodicUpdatePolicy",
     "WriteSavingPolicy",
     "NvramPolicy",
+    "ShardedFlushPolicy",
     "make_flush_policy",
 ]
 
@@ -114,7 +119,7 @@ class FlushPolicy(ABC):
         """
         assert self.cache is not None
         cache = self.cache
-        low_water_blocks = int(cache.num_blocks * self.config.daemon_low_water)
+        low_water_blocks = int(cache.num_blocks * self.config.resolved_daemon_low_water())
         while True:
             yield from self._work.wait()
             self.daemon_wakeups += 1
@@ -264,6 +269,110 @@ class NvramPolicy(FlushPolicy):
     def nvram_blocks(self) -> int:
         assert self.cache is not None
         return self.config.nvram_bytes // self.cache.block_size
+
+
+class ShardedFlushPolicy(FlushPolicy):
+    """One flush daemon per cache shard, plus a shared dirty-ratio governor.
+
+    Attached to a :class:`~repro.core.storage.array.ShardedCache`, this
+    policy instantiates the configured flush policy once *per shard* — each
+    volume gets its own update/drain daemon working against its own dirty
+    list, exactly as the real machine ran one update daemon per file system.
+    The NVRAM budget is split evenly over the shards so the array's total
+    dirty-data bound matches the single-volume configuration.
+
+    Cross-volume flush pressure is coordinated by a *governor* thread: when
+    the aggregate dirty ratio across all shards passes ``high_water`` it
+    drains the dirtiest shard (whole-file granularity when the shard is
+    configured for it) until the aggregate falls back below ``low_water``.
+    The governor never runs for the UPS write-saving policy — writing ahead
+    of real allocation pressure would defeat the write savings that policy
+    exists to measure — or for single-shard caches, which keeps a one-volume
+    array byte-identical to the legacy assembly.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        config: FlushConfig,
+        high_water: float = 0.85,
+        low_water: float = 0.70,
+        check_interval: float = 1.0,
+    ):
+        super().__init__(config)
+        if not (0.0 <= low_water <= high_water <= 1.0):
+            raise ConfigurationError("governor water marks must satisfy 0 <= low <= high <= 1")
+        if check_interval <= 0:
+            raise ConfigurationError("governor check interval must be positive")
+        self.high_water = high_water
+        self.low_water = low_water
+        self.check_interval = check_interval
+        self.children: List[FlushPolicy] = []
+        self.governor_thread: Optional[Thread] = None
+        self.governor_wakeups = 0
+        self.governor_flushes = 0
+
+    def attach(self, cache: "ShardedCache", scheduler: Scheduler) -> None:
+        self.cache = cache  # type: ignore[assignment]
+        self.scheduler = scheduler
+        shards = cache.shards
+        child_config = self.config
+        if self.config.policy == "nvram" and len(shards) > 1:
+            child_config = replace(
+                self.config, nvram_bytes=max(self.config.nvram_bytes // len(shards), 1)
+            )
+        for shard in shards:
+            child = make_flush_policy(child_config)
+            child.attach(shard, scheduler)
+            self.children.append(child)
+        if len(shards) > 1 and self.config.policy != "ups" and self.high_water < 1.0:
+            self.governor_thread = scheduler.spawn(
+                self._governor, name="dirty-governor", daemon=True
+            )
+
+    def _governor(self) -> Generator[Any, Any, None]:
+        assert self.cache is not None and self.scheduler is not None
+        shards = self.cache.shards
+        capacity = sum(shard.num_blocks * shard.block_size for shard in shards)
+        while True:
+            yield from self.scheduler.sleep(self.check_interval)
+            if self._dirty_ratio(shards, capacity) <= self.high_water:
+                continue
+            self.governor_wakeups += 1
+            while self._dirty_ratio(shards, capacity) > self.low_water:
+                victim = max(
+                    shards, key=lambda shard: shard.dirty_bytes / max(shard.num_blocks, 1)
+                )
+                written = yield from victim.flush_oldest(
+                    whole_file=victim.flush_whole_file_on_replacement
+                )
+                if written == 0:
+                    break
+                self.governor_flushes += written
+
+    @staticmethod
+    def _dirty_ratio(shards: List[BlockCache], capacity: int) -> float:
+        return sum(shard.dirty_bytes for shard in shards) / max(capacity, 1)
+
+    def stats(self) -> dict:
+        """Aggregate child counters plus governor activity."""
+        totals = {
+            "daemon_wakeups": 0,
+            "wakeups_coalesced": 0,
+            "policy_flushes": 0,
+            "flush_ahead_blocks": 0,
+        }
+        for child in self.children:
+            for key, value in child.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        totals["governor_wakeups"] = self.governor_wakeups
+        totals["governor_flushes"] = self.governor_flushes
+        return totals
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard flush counters, in shard (= volume) order."""
+        return [child.stats() for child in self.children]
 
 
 def make_flush_policy(config: FlushConfig) -> FlushPolicy:

@@ -1,0 +1,749 @@
+"""The multi-volume storage array: placement, cache shards and routing.
+
+The traced Sprite server was not "one big disk": it was a Sun 4/280 with
+ten HP 97560 disks on three SCSI buses, carved into fourteen file systems
+(Section 5.1).  This module grows the framework's storage stack from "one
+cache, one volume, one driver list" into that shape:
+
+* :class:`PlacementPolicy` decides which volume a file (or, for striping,
+  an individual file block) lives on — pluggable, like every other policy
+  in the cut-and-paste framework.
+* :class:`VolumeSet` groups N independent :class:`~repro.core.storage.volume.Volume`
+  objects, each over its own disk complement.
+* :class:`ShardedCache` presents the :class:`~repro.core.cache.BlockCache`
+  API over one cache shard per volume, so the file system, the flush
+  daemons and the replacement subsystem run unchanged against either a
+  single cache or N shards.
+* :class:`RoutedLayout` presents the :class:`~repro.core.storage.layout.StorageLayout`
+  API over one sub-layout per volume, routing inodes to their home volume
+  and data blocks wherever the placement policy puts them.
+
+Volume membership is *encoded in the inode number*: volume ``v`` hands out
+numbers congruent to ``ROOT_INODE_NUMBER + v`` modulo the volume count, so
+any component can recover a file's home volume from its identifier alone —
+no routing table, no lookups, O(1) like the replacement subsystem.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Generator, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.blocks import CacheBlock
+from repro.core.cache import BlockCache, CacheStatistics
+from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
+from repro.core.scheduler import Scheduler
+from repro.core.storage.layout import StorageLayout
+from repro.core.storage.volume import Volume
+from repro.errors import ConfigurationError, StorageError
+
+__all__ = [
+    "PlacementPolicy",
+    "HashPlacement",
+    "StripedPlacement",
+    "DirectoryAffinityPlacement",
+    "make_placement_policy",
+    "VolumeSet",
+    "ShardedCache",
+    "RoutedLayout",
+]
+
+
+# --------------------------------------------------------------------------- placement
+
+
+class PlacementPolicy(ABC):
+    """Decides which volume a file — and each of its blocks — lives on.
+
+    The *home* volume holds the file's inode and is encoded in the inode
+    number at allocation time (``number ≡ ROOT + home (mod volumes)``), so
+    :meth:`volume_of_file` is pure arithmetic.  Block placement defaults to
+    the home volume; striping policies override :meth:`volume_for_block`.
+    """
+
+    name = "abstract"
+
+    def __init__(self, num_volumes: int):
+        if num_volumes < 1:
+            raise ConfigurationError("placement needs at least one volume")
+        self.num_volumes = num_volumes
+
+    @abstractmethod
+    def home_for_new_file(
+        self,
+        parent_id: Optional[int],
+        name: Optional[str],
+        counter: int,
+        kind: Optional[FileKind] = None,
+    ) -> int:
+        """Home volume for a file about to be created.  ``counter`` is the
+        array-wide allocation sequence number (a deterministic tiebreak for
+        files with no parent/name hint); ``kind`` lets policies treat
+        directories differently from regular files."""
+
+    def volume_of_file(self, file_id: int) -> int:
+        """Home volume of an existing file, recovered from its inode number."""
+        return (file_id - ROOT_INODE_NUMBER) % self.num_volumes
+
+    def volume_for_block(self, file_id: int, block_no: int) -> int:
+        """Volume holding one logical block of ``file_id``."""
+        return self.volume_of_file(file_id)
+
+
+def _crc(text: str) -> int:
+    return zlib.crc32(text.encode("utf-8", "replace"))
+
+
+class HashPlacement(PlacementPolicy):
+    """Whole-file placement by name hash: all blocks of a file live on the
+    volume selected by hashing its (parent, leaf-name) identity, so load
+    spreads statistically while every file stays one-volume-local."""
+
+    name = "hash"
+
+    def home_for_new_file(
+        self,
+        parent_id: Optional[int],
+        name: Optional[str],
+        counter: int,
+        kind: Optional[FileKind] = None,
+    ) -> int:
+        if name is None:
+            return _crc(str(counter)) % self.num_volumes
+        return _crc(f"{parent_id if parent_id is not None else 0}/{name}") % self.num_volumes
+
+
+class StripedPlacement(PlacementPolicy):
+    """Round-robin striping: consecutive runs of ``stripe_unit`` blocks of a
+    file rotate over the volumes (RAID-0 at file-block granularity), so one
+    large file drives every disk in the array at once."""
+
+    name = "stripe"
+
+    def __init__(self, num_volumes: int, stripe_unit: int = 16):
+        super().__init__(num_volumes)
+        if stripe_unit < 1:
+            raise ConfigurationError("stripe unit must be at least one block")
+        self.stripe_unit = stripe_unit
+
+    def home_for_new_file(
+        self,
+        parent_id: Optional[int],
+        name: Optional[str],
+        counter: int,
+        kind: Optional[FileKind] = None,
+    ) -> int:
+        return counter % self.num_volumes
+
+    def volume_for_block(self, file_id: int, block_no: int) -> int:
+        home = self.volume_of_file(file_id)
+        return (home + block_no // self.stripe_unit) % self.num_volumes
+
+
+class DirectoryAffinityPlacement(PlacementPolicy):
+    """Directory affinity: the FFS cylinder-group idea lifted to array
+    scale.  New *directories* are spread over the volumes (by name hash) so
+    the namespace fans out; regular files then land on their parent
+    directory's volume, keeping name lookups, dirent updates and the files
+    of one working directory on a single set of disk arms."""
+
+    name = "directory"
+
+    def home_for_new_file(
+        self,
+        parent_id: Optional[int],
+        name: Optional[str],
+        counter: int,
+        kind: Optional[FileKind] = None,
+    ) -> int:
+        if kind is FileKind.DIRECTORY:
+            if name is None:
+                return counter % self.num_volumes
+            return _crc(f"{parent_id if parent_id is not None else 0}/{name}") % self.num_volumes
+        if parent_id is None:
+            return counter % self.num_volumes
+        return self.volume_of_file(parent_id)
+
+
+def make_placement_policy(
+    name: str, num_volumes: int, stripe_unit: int = 16
+) -> PlacementPolicy:
+    """Factory keyed by ``ArrayConfig.placement``."""
+    if name == "hash":
+        return HashPlacement(num_volumes)
+    if name == "stripe":
+        return StripedPlacement(num_volumes, stripe_unit=stripe_unit)
+    if name == "directory":
+        return DirectoryAffinityPlacement(num_volumes)
+    raise ConfigurationError(f"unknown placement policy {name!r}")
+
+
+# --------------------------------------------------------------------------- volume set
+
+
+class VolumeSet:
+    """N independent volumes behind one handle.
+
+    Quacks like a :class:`~repro.core.storage.volume.Volume` for the
+    operations the file-system layer performs on "the volume" as a whole
+    (``block_size``, ``total_blocks``, ``flush``); everything block-address
+    specific goes through the per-volume sub-layouts instead.
+    """
+
+    def __init__(self, volumes: Sequence[Volume]):
+        if not volumes:
+            raise StorageError("a volume set needs at least one volume")
+        block_size = volumes[0].block_size
+        if any(volume.block_size != block_size for volume in volumes):
+            raise StorageError("all volumes in a set must share one block size")
+        self.volumes = list(volumes)
+        self.block_size = block_size
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(volume.total_blocks for volume in self.volumes)
+
+    @property
+    def num_disks(self) -> int:
+        return sum(volume.num_disks for volume in self.volumes)
+
+    def flush(self) -> Generator[Any, Any, None]:
+        """Wait for every disk queue of every volume to drain."""
+        for volume in self.volumes:
+            yield from volume.flush()
+
+    def __len__(self) -> int:
+        return len(self.volumes)
+
+    def __iter__(self) -> Iterator[Volume]:
+        return iter(self.volumes)
+
+    def __getitem__(self, index: int) -> Volume:
+        return self.volumes[index]
+
+    def __repr__(self) -> str:
+        return f"VolumeSet(volumes={len(self.volumes)}, blocks={self.total_blocks})"
+
+
+# --------------------------------------------------------------------------- sharded cache
+
+
+class ShardedCacheStatistics:
+    """Read-only aggregate view over per-shard :class:`CacheStatistics`.
+
+    Counter attributes sum across the shards on every access, so the view
+    is always current.  ``peak_dirty_bytes`` is the sum of per-shard peaks —
+    an upper bound on the true simultaneous aggregate peak.
+    """
+
+    _FIELDS = tuple(CacheStatistics().snapshot().keys())
+
+    def __init__(self, shards: Sequence[BlockCache]):
+        self._shards = list(shards)
+
+    def __getattr__(self, name: str):
+        if name in self._FIELDS and name != "hit_rate":
+            return sum(getattr(shard.stats, name) for shard in self._shards)
+        raise AttributeError(name)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = sum(shard.stats.lookups for shard in self._shards)
+        if lookups == 0:
+            return 0.0
+        return sum(shard.stats.hits for shard in self._shards) / lookups
+
+    def snapshot(self) -> dict:
+        snapshot: Dict[str, Any] = {}
+        for shard in self._shards:
+            for key, value in shard.stats.snapshot().items():
+                snapshot[key] = snapshot.get(key, 0) + value
+        snapshot["hit_rate"] = self.hit_rate
+        return snapshot
+
+
+class _ShardedPolicyView:
+    """Aggregate view of the per-shard replacement policies (name plus a
+    summed counter snapshot) for reports that expect ``cache.policy``."""
+
+    def __init__(self, shards: Sequence[BlockCache]):
+        self._shards = list(shards)
+
+    @property
+    def name(self) -> str:
+        return self._shards[0].policy.name
+
+    def snapshot(self) -> dict:
+        merged: Dict[str, Any] = {}
+        for shard in self._shards:
+            for key, value in shard.policy.snapshot().items():
+                if isinstance(value, (int, float)) and isinstance(
+                    merged.get(key, 0), (int, float)
+                ):
+                    merged[key] = merged.get(key, 0) + value
+                else:
+                    merged.setdefault(key, value)
+        return merged
+
+
+class ShardedCache:
+    """Per-volume :class:`BlockCache` shards behind the ``BlockCache`` API.
+
+    Block-identified operations route to the owning shard via the placement
+    router (the same function that places the block on disk, so a block's
+    cache shard always fronts the volume that stores it); whole-cache and
+    whole-file operations fan out over the shards.  With a single shard
+    every call is a bare pass-through, which is what keeps a one-volume
+    array byte-identical to the legacy single-cache assembly.
+    """
+
+    def __init__(self, shards: Sequence[BlockCache], router: Callable[[int, int], int]):
+        if not shards:
+            raise ConfigurationError("a sharded cache needs at least one shard")
+        self.shards = list(shards)
+        self._router = router
+        first = self.shards[0]
+        self.scheduler = first.scheduler
+        self.config = first.config
+        self.block_size = first.block_size
+        self.with_data = first.with_data
+        self._aggregate = (
+            first.stats if len(self.shards) == 1 else ShardedCacheStatistics(self.shards)
+        )
+        self._policy_view = (
+            first.policy if len(self.shards) == 1 else _ShardedPolicyView(self.shards)
+        )
+
+    # ------------------------------------------------------------------ routing
+
+    def shard_index(self, file_id: int, block_no: int) -> int:
+        if len(self.shards) == 1:
+            return 0
+        return self._router(file_id, block_no) % len(self.shards)
+
+    def shard_for(self, file_id: int, block_no: int) -> BlockCache:
+        return self.shards[self.shard_index(file_id, block_no)]
+
+    def _shard_of_block(self, block: CacheBlock) -> BlockCache:
+        block_id = block.block_id
+        if block_id is None:
+            raise ConfigurationError("cannot route a cache block with no identity")
+        return self.shard_for(block_id.file_id, block_id.block_no)
+
+    # ------------------------------------------------------------------ aggregate views
+
+    @property
+    def stats(self):
+        return self._aggregate
+
+    @property
+    def policy(self):
+        return self._policy_view
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(shard.num_blocks for shard in self.shards)
+
+    @property
+    def free_count(self) -> int:
+        return sum(shard.free_count for shard in self.shards)
+
+    @property
+    def clean_count(self) -> int:
+        return sum(shard.clean_count for shard in self.shards)
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(shard.dirty_count for shard in self.shards)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return sum(shard.dirty_bytes for shard in self.shards)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(shard.cached_count for shard in self.shards)
+
+    # -- shared cache knobs, fanned out to every shard -------------------------
+
+    @property
+    def writeback(self):
+        return self.shards[0].writeback
+
+    @writeback.setter
+    def writeback(self, fn) -> None:
+        for shard in self.shards:
+            shard.writeback = fn
+
+    @property
+    def dirty_limit_bytes(self) -> Optional[int]:
+        return self.shards[0].dirty_limit_bytes
+
+    @dirty_limit_bytes.setter
+    def dirty_limit_bytes(self, limit: Optional[int]) -> None:
+        for shard in self.shards:
+            shard.dirty_limit_bytes = limit
+
+    @property
+    def drain_whole_file(self) -> bool:
+        return self.shards[0].drain_whole_file
+
+    @drain_whole_file.setter
+    def drain_whole_file(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.drain_whole_file = value
+
+    @property
+    def flush_whole_file_on_replacement(self) -> bool:
+        return self.shards[0].flush_whole_file_on_replacement
+
+    @flush_whole_file_on_replacement.setter
+    def flush_whole_file_on_replacement(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.flush_whole_file_on_replacement = value
+
+    @property
+    def space_requester(self):
+        return self.shards[0].space_requester
+
+    @space_requester.setter
+    def space_requester(self, fn) -> None:
+        for shard in self.shards:
+            shard.space_requester = fn
+
+    # ------------------------------------------------------------------ block-routed operations
+
+    def contains(self, file_id: int, block_no: int) -> bool:
+        return self.shard_for(file_id, block_no).contains(file_id, block_no)
+
+    def peek(self, file_id: int, block_no: int) -> Optional[CacheBlock]:
+        return self.shard_for(file_id, block_no).peek(file_id, block_no)
+
+    def lookup(self, file_id: int, block_no: int) -> Optional[CacheBlock]:
+        return self.shard_for(file_id, block_no).lookup(file_id, block_no)
+
+    def allocate(self, file_id: int, block_no: int) -> Generator[Any, Any, CacheBlock]:
+        return (yield from self.shard_for(file_id, block_no).allocate(file_id, block_no))
+
+    def touch(self, block: CacheBlock) -> None:
+        self._shard_of_block(block).touch(block)
+
+    def mark_dirty(self, block: CacheBlock) -> Generator[Any, Any, None]:
+        yield from self._shard_of_block(block).mark_dirty(block)
+
+    def mark_clean(self, block: CacheBlock) -> None:
+        self._shard_of_block(block).mark_clean(block)
+
+    def invalidate(self, block: CacheBlock) -> None:
+        self._shard_of_block(block).invalidate(block)
+
+    def flush_block(self, block: CacheBlock) -> Generator[Any, Any, int]:
+        return (yield from self._shard_of_block(block).flush_block(block))
+
+    def wait_block_ready(
+        self, file_id: Optional[int] = None, block_no: Optional[int] = None
+    ) -> Generator[Any, Any, None]:
+        if file_id is not None and block_no is not None:
+            yield from self.shards[self.shard_index(file_id, block_no)].wait_block_ready()
+        else:
+            yield from self.shards[0].wait_block_ready()
+
+    def notify_block_ready(
+        self, file_id: Optional[int] = None, block_no: Optional[int] = None
+    ) -> None:
+        if file_id is not None and block_no is not None:
+            self.shards[self.shard_index(file_id, block_no)].notify_block_ready()
+        else:
+            for shard in self.shards:
+                shard.notify_block_ready()
+
+    # ------------------------------------------------------------------ fan-out queries
+
+    def dirty_blocks_of(self, file_id: int) -> List[CacheBlock]:
+        blocks: List[CacheBlock] = []
+        for shard in self.shards:
+            blocks.extend(shard.dirty_blocks_of(file_id))
+        return blocks
+
+    def cached_blocks_of(self, file_id: int) -> List[CacheBlock]:
+        blocks: List[CacheBlock] = []
+        for shard in self.shards:
+            blocks.extend(shard.cached_blocks_of(file_id))
+        return blocks
+
+    def oldest_dirty(self, skip_busy: bool = True) -> Optional[CacheBlock]:
+        oldest: Optional[CacheBlock] = None
+        for shard in self.shards:
+            candidate = shard.oldest_dirty(skip_busy=skip_busy)
+            if candidate is None:
+                continue
+            if oldest is None or (candidate.dirty_since or 0.0) < (oldest.dirty_since or 0.0):
+                oldest = candidate
+        return oldest
+
+    def dirty_files(self) -> List[int]:
+        entries: List[tuple[float, int]] = []
+        for shard in self.shards:
+            for block in shard._dirty.values():
+                entries.append((block.dirty_since or 0.0, block.block_id.file_id))
+        entries.sort(key=lambda item: item[0])
+        seen: List[int] = []
+        for _when, file_id in entries:
+            if file_id not in seen:
+                seen.append(file_id)
+        return seen
+
+    def blocks(self) -> Iterable[CacheBlock]:
+        for shard in self.shards:
+            yield from shard.blocks()
+
+    def oldest_dirty_age(self) -> float:
+        return max((shard.oldest_dirty_age() for shard in self.shards), default=0.0)
+
+    def has_allocatable_slot(self) -> bool:
+        return any(shard.has_allocatable_slot() for shard in self.shards)
+
+    def notify_space_available(self) -> None:
+        for shard in self.shards:
+            shard.notify_space_available()
+
+    # ------------------------------------------------------------------ fan-out mutations
+
+    def invalidate_file(self, file_id: int, from_block: int = 0) -> tuple[int, int]:
+        clean_dropped = 0
+        dirty_dropped = 0
+        for shard in self.shards:
+            clean, dirty = shard.invalidate_file(file_id, from_block)
+            clean_dropped += clean
+            dirty_dropped += dirty
+        return clean_dropped, dirty_dropped
+
+    def flush_file(self, file_id: int) -> Generator[Any, Any, int]:
+        written = 0
+        for shard in self.shards:
+            written += yield from shard.flush_file(file_id)
+        return written
+
+    def flush_oldest(self, whole_file: bool) -> Generator[Any, Any, int]:
+        victim = self.oldest_dirty()
+        if victim is None:
+            return 0
+        if whole_file:
+            return (yield from self.flush_file(victim.block_id.file_id))
+        return (yield from self._shard_of_block(victim).flush_block(victim))
+
+    def flush_all(self) -> Generator[Any, Any, int]:
+        written = 0
+        for shard in self.shards:
+            written += yield from shard.flush_all()
+        return written
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCache(shards={len(self.shards)}, blocks={self.num_blocks}, "
+            f"free={self.free_count}, clean={self.clean_count}, dirty={self.dirty_count})"
+        )
+
+
+# --------------------------------------------------------------------------- routed layout
+
+
+class RoutedLayout(StorageLayout):
+    """A storage layout routing files and blocks over per-volume sub-layouts.
+
+    Each volume runs its own complete layout instance (LFS or FFS) over its
+    own disks; this class owns only the *routing*: inode numbers are handed
+    out in per-volume arithmetic progressions (``number ≡ ROOT + v`` modulo
+    the volume count) so a file's home volume is recoverable from its
+    identifier, and data blocks follow the placement policy — the home
+    volume for whole-file policies, rotating volumes for striping.
+    """
+
+    name = "array"
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        volume_set: VolumeSet,
+        sublayouts: Sequence[StorageLayout],
+        placement: PlacementPolicy,
+        block_size: int,
+        seed: int = 0,
+    ):
+        if len(sublayouts) != len(volume_set):
+            raise ConfigurationError("need exactly one sub-layout per volume")
+        if placement.num_volumes != len(sublayouts):
+            raise ConfigurationError("placement volume count must match the sub-layouts")
+        super().__init__(
+            scheduler,
+            volume_set,  # type: ignore[arg-type]  # quacks like a Volume
+            block_size,
+            simulated=sublayouts[0].simulated,
+            seed=seed,
+        )
+        self.sublayouts = list(sublayouts)
+        self.placement = placement
+        volumes = len(self.sublayouts)
+        for v, sub in enumerate(self.sublayouts):
+            # Slot-mapped layouts (FFS) must be built for exactly this
+            # member's arithmetic progression of inode numbers.
+            stride = getattr(sub, "inode_stride", None)
+            if stride is not None and (stride, getattr(sub, "inode_base", None)) != (volumes, v):
+                raise ConfigurationError(
+                    f"sub-layout {v} expects inode progression base="
+                    f"{getattr(sub, 'inode_base', None)} stride={stride}, "
+                    f"but this array hands it base={v} stride={volumes}"
+                )
+        self._next_number = [ROOT_INODE_NUMBER + v for v in range(volumes)]
+        self._file_counter = 0
+
+    # ------------------------------------------------------------------ routing helpers
+
+    @property
+    def num_volumes(self) -> int:
+        return len(self.sublayouts)
+
+    def home_of(self, file_id: int) -> int:
+        return self.placement.volume_of_file(file_id)
+
+    def sub_for_file(self, file_id: int) -> StorageLayout:
+        return self.sublayouts[self.home_of(file_id)]
+
+    def sub_for_block(self, file_id: int, block_no: int) -> StorageLayout:
+        return self.sublayouts[self.placement.volume_for_block(file_id, block_no)]
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def format(self) -> Generator[Any, Any, None]:
+        self._next_number = [ROOT_INODE_NUMBER + v for v in range(self.num_volumes)]
+        self._file_counter = 0
+        for sub in self.sublayouts:
+            yield from sub.format()
+
+    def mount(self) -> Generator[Any, Any, None]:
+        for sub in self.sublayouts:
+            yield from sub.mount()
+
+    def checkpoint(self) -> Generator[Any, Any, None]:
+        for sub in self.sublayouts:
+            yield from sub.checkpoint()
+
+    def unmount(self) -> Generator[Any, Any, None]:
+        for sub in self.sublayouts:
+            yield from sub.unmount()
+
+    # ------------------------------------------------------------------ inodes
+
+    def allocate_inode(
+        self,
+        kind: FileKind,
+        parent_id: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Inode:
+        if self._file_counter == 0:
+            # The very first allocation is the root directory; like the
+            # superblock it lives on volume 0.
+            home = 0
+        else:
+            home = self.placement.home_for_new_file(
+                parent_id, name, self._file_counter, kind=kind
+            )
+        number = self._next_number[home]
+        self._next_number[home] += self.num_volumes
+        sub = self.sublayouts[home]
+        # Force the home volume's progression onto the sub-layout's counter;
+        # the sub-layout allocates exactly this number and we never reuse it.
+        sub.next_inode_number = number  # type: ignore[attr-defined]
+        inode = sub.allocate_inode(kind)
+        self._file_counter += 1
+        return inode
+
+    def known_inode_numbers(self) -> List[int]:
+        known: set[int] = set()
+        for sub in self.sublayouts:
+            known.update(sub.known_inode_numbers())
+        return sorted(known)
+
+    def read_inode(self, inode_number: int) -> Generator[Any, Any, Inode]:
+        return (yield from self.sub_for_file(inode_number).read_inode(inode_number))
+
+    def write_inode(self, inode: Inode) -> Generator[Any, Any, None]:
+        yield from self.sub_for_file(inode.number).write_inode(inode)
+
+    def free_inode(self, inode: Inode) -> Generator[Any, Any, None]:
+        # Data blocks may be spread over several volumes (striping); release
+        # them through the router first, then retire the inode on its home.
+        yield from self.release_blocks(inode, 0)
+        yield from self.sub_for_file(inode.number).free_inode(inode)
+
+    # ------------------------------------------------------------------ data blocks
+
+    def read_file_block(
+        self, inode: Inode, block_no: int, block: CacheBlock
+    ) -> Generator[Any, Any, bool]:
+        sub = self.sub_for_block(inode.number, block_no)
+        return (yield from sub.read_file_block(inode, block_no, block))
+
+    def write_file_blocks(
+        self, inode: Inode, blocks: List[tuple[int, CacheBlock]]
+    ) -> Generator[Any, Any, None]:
+        if not blocks:
+            return
+        groups: Dict[int, List[tuple[int, CacheBlock]]] = {}
+        for block_no, cache_block in blocks:
+            volume = self.placement.volume_for_block(inode.number, block_no)
+            groups.setdefault(volume, []).append((block_no, cache_block))
+        for volume in sorted(groups):
+            yield from self.sublayouts[volume].write_file_blocks(inode, groups[volume])
+
+    def release_blocks(self, inode: Inode, from_block: int) -> Generator[Any, Any, None]:
+        groups: Dict[int, Dict[int, int]] = {}
+        for block_no, address in inode.block_map.items():
+            if block_no < from_block:
+                continue
+            volume = self.placement.volume_for_block(inode.number, block_no)
+            groups.setdefault(volume, {})[block_no] = address
+        for volume in sorted(groups):
+            # Each sub-layout must only see (and free) the addresses it owns,
+            # so hand it a shim inode carrying just that volume's mappings.
+            shim = Inode(number=inode.number, kind=inode.kind)
+            shim.block_map = groups[volume]
+            yield from self.sublayouts[volume].release_blocks(shim, from_block)
+        inode.drop_blocks_from(from_block)
+
+    # ------------------------------------------------------------------ space accounting
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(sub.free_blocks for sub in self.sublayouts)
+
+    @property
+    def free_segment_fraction(self) -> float:
+        """Mean free-segment fraction over LFS sub-layouts (1.0 otherwise)."""
+        fractions = [
+            sub.free_segment_fraction
+            for sub in self.sublayouts
+            if hasattr(sub, "free_segment_fraction")
+        ]
+        if not fractions:
+            return 1.0
+        return sum(fractions) / len(fractions)
+
+    # ------------------------------------------------------------------ reporting
+
+    def combined_stats(self) -> dict:
+        """Summed :class:`~repro.core.storage.layout.LayoutStatistics` over
+        the sub-layouts (the per-volume breakdown lives in the report)."""
+        totals: Dict[str, int] = {}
+        for sub in self.sublayouts:
+            for key, value in vars(sub.stats).items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutedLayout(volumes={self.num_volumes}, "
+            f"placement={self.placement.name!r}, kind={self.sublayouts[0].name!r})"
+        )

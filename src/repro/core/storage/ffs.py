@@ -50,8 +50,20 @@ class FfsLikeLayout(StorageLayout):
         max_inodes: Optional[int] = None,
         simulated: bool = False,
         seed: int = 0,
+        inode_base: int = 0,
+        inode_stride: int = 1,
     ):
+        """``inode_base``/``inode_stride`` describe the arithmetic
+        progression of inode numbers this layout serves: a standalone file
+        system owns every number (base 0, stride 1), while volume ``v`` of a
+        ``V``-volume array owns ``ROOT + v, ROOT + v + V, ...`` (base ``v``,
+        stride ``V``).  Slots are allocated densely within the progression,
+        so a member of an array keeps its full inode-table capacity."""
         super().__init__(scheduler, volume, block_size, simulated=simulated, seed=seed)
+        if inode_stride < 1 or not (0 <= inode_base < inode_stride):
+            raise StorageError("need 0 <= inode_base < inode_stride")
+        self.inode_base = inode_base
+        self.inode_stride = inode_stride
         if max_inodes is None:
             # One block per inode slot: auto-size the table to an eighth of
             # the volume so small volumes keep a usable data region.
@@ -65,7 +77,7 @@ class FfsLikeLayout(StorageLayout):
         self.inode_region_start = 1
         self.data_region_start = data_start
         self.allocator = BlockAllocator(data_start, volume.total_blocks - data_start)
-        self.next_inode_number = ROOT_INODE_NUMBER
+        self.next_inode_number = ROOT_INODE_NUMBER + inode_base
         self._inode_objects: dict[int, Inode] = {}
         self._known_inodes: set[int] = set()
         self._mounted = False
@@ -75,7 +87,7 @@ class FfsLikeLayout(StorageLayout):
     def format(self) -> Generator[Any, Any, None]:
         self._inode_objects.clear()
         self._known_inodes.clear()
-        self.next_inode_number = ROOT_INODE_NUMBER
+        self.next_inode_number = ROOT_INODE_NUMBER + self.inode_base
         self.allocator = BlockAllocator(
             self.data_region_start, self.volume.total_blocks - self.data_region_start
         )
@@ -102,7 +114,7 @@ class FfsLikeLayout(StorageLayout):
         if data is None:
             raise StorageError("cannot mount a real FFS layout on a data-less volume")
         codec.unpack_superblock(data)
-        highest = ROOT_INODE_NUMBER - 1
+        highest = ROOT_INODE_NUMBER + self.inode_base - self.inode_stride
         for slot in range(self.max_inodes):
             raw = yield from self.volume.read_block(self.inode_region_start + slot)
             self.stats.disk_reads += 1
@@ -116,7 +128,7 @@ class FfsLikeLayout(StorageLayout):
             highest = max(highest, inode.number)
             for address in inode.block_map.values():
                 self.allocator.allocate_at(address)
-        self.next_inode_number = highest + 1
+        self.next_inode_number = highest + self.inode_stride
         self._mounted = True
 
     def checkpoint(self) -> Generator[Any, Any, None]:
@@ -126,17 +138,32 @@ class FfsLikeLayout(StorageLayout):
 
     # ------------------------------------------------------------------ inodes
 
+    def _slot_of(self, inode_number: int) -> int:
+        """Dense slot index of a number within this layout's progression."""
+        offset = inode_number - ROOT_INODE_NUMBER - self.inode_base
+        if offset < 0 or offset % self.inode_stride != 0:
+            raise StorageError(
+                f"inode number {inode_number} not in this layout's progression "
+                f"(base {self.inode_base}, stride {self.inode_stride})"
+            )
+        return offset // self.inode_stride
+
     def _slot_address(self, inode_number: int) -> int:
-        slot = inode_number - ROOT_INODE_NUMBER
-        if slot < 0 or slot >= self.max_inodes:
+        slot = self._slot_of(inode_number)
+        if slot >= self.max_inodes:
             raise StorageError(f"inode number {inode_number} outside the inode region")
         return self.inode_region_start + slot
 
-    def allocate_inode(self, kind: FileKind) -> Inode:
-        if self.next_inode_number - ROOT_INODE_NUMBER >= self.max_inodes:
+    def allocate_inode(
+        self,
+        kind: FileKind,
+        parent_id: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Inode:
+        if self._slot_of(self.next_inode_number) >= self.max_inodes:
             raise StorageError("out of inode slots")
         number = self.next_inode_number
-        self.next_inode_number += 1
+        self.next_inode_number += self.inode_stride
         now = self.scheduler.now
         inode = Inode(number=number, kind=kind, atime=now, mtime=now, ctime=now)
         self._inode_objects[number] = inode

@@ -99,8 +99,20 @@ class StorageLayout(ABC):
     # ------------------------------------------------------------------ inodes
 
     @abstractmethod
-    def allocate_inode(self, kind: FileKind) -> Inode:
-        """Create a new in-core inode (persisted by :meth:`write_inode`)."""
+    def allocate_inode(
+        self,
+        kind: FileKind,
+        parent_id: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Inode:
+        """Create a new in-core inode (persisted by :meth:`write_inode`).
+
+        ``parent_id`` and ``name`` are placement hints: the inode number of
+        the directory the file is created in and the file's leaf name.
+        Single-volume layouts ignore them; the multi-volume
+        :class:`~repro.core.storage.array.RoutedLayout` feeds them to its
+        placement policy to pick the file's home volume.
+        """
 
     @abstractmethod
     def read_inode(self, inode_number: int) -> Generator[Any, Any, Inode]:

@@ -256,7 +256,12 @@ class LogStructuredLayout(StorageLayout):
 
     # ------------------------------------------------------------------ inodes
 
-    def allocate_inode(self, kind: FileKind) -> Inode:
+    def allocate_inode(
+        self,
+        kind: FileKind,
+        parent_id: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Inode:
         number = self.next_inode_number
         self.next_inode_number += 1
         now = self.scheduler.now

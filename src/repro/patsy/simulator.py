@@ -12,7 +12,7 @@ simulation time and of the overall simulation").
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Any,
@@ -33,10 +33,16 @@ from repro.core.client import AbstractClientInterface
 from repro.core.clock import VirtualClock
 from repro.core.datamover import DataMover
 from repro.core.filesystem import FileSystem
-from repro.core.flush import make_flush_policy
+from repro.core.flush import ShardedFlushPolicy, make_flush_policy
 from repro.core.iosched import make_io_scheduler
 from repro.core.scheduler import Scheduler
-from repro.core.storage.cleaner import CleanerDaemon, make_cleaner
+from repro.core.storage.array import (
+    RoutedLayout,
+    ShardedCache,
+    VolumeSet,
+    make_placement_policy,
+)
+from repro.core.storage.cleaner import CleanerDaemon, CleanerSet, make_cleaner
 from repro.core.storage.ffs import FfsLikeLayout
 from repro.core.storage.lfs import LogStructuredLayout
 from repro.core.storage.volume import Volume
@@ -60,6 +66,11 @@ __all__ = ["PatsySimulator", "SimulationResult", "TraceSource"]
 #: path to an on-disk trace, an open text stream, or any record iterator
 #: (e.g. ``iter_sprite_trace(...)``).
 TraceSource = Union[Sequence[TraceRecord], str, Path, Iterable[TraceRecord]]
+
+
+def _route_to_shard_zero(file_id: int, block_no: int) -> int:
+    """Cache router for the "unified" shard policy: one cache, N volumes."""
+    return 0
 
 
 class _TraceDemux:
@@ -182,6 +193,10 @@ class SimulationResult:
     #: streaming-replay bookkeeping (peak demux buffering etc.); empty for
     #: materialised replay.
     stream_stats: Dict[str, Any] = field(default_factory=dict)
+    #: per-volume breakdown and array-level rollup (storage-array runs only;
+    #: empty — and absent from :meth:`summary` — for single-volume runs, so
+    #: legacy summaries stay byte-identical).
+    volume_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
@@ -224,7 +239,14 @@ class PatsySimulator:
         self.scheduler = Scheduler(clock=VirtualClock(), seed=cfg.seed)
 
         # --- simulated hardware: buses, disks, drivers ------------------------
+        # The array config, when present, owns the hardware complement (the
+        # Sun 4/280's ten-disks-on-three-buses); the host config keeps
+        # supplying the per-device parameters either way.
         host = cfg.host
+        array = cfg.array
+        num_disks = array.total_disks if array is not None else host.num_disks
+        num_buses = array.buses if array is not None else host.num_buses
+        bus_for_disk = array.bus_for_disk if array is not None else host.bus_for_disk
         spec = disk_spec_by_name(host.disk_model)
         self.buses: List[ScsiBus] = [
             ScsiBus(
@@ -233,12 +255,12 @@ class PatsySimulator:
                 bandwidth=host.bus_bandwidth,
                 arbitration_overhead=host.bus_overhead,
             )
-            for i in range(host.num_buses)
+            for i in range(num_buses)
         ]
         self.disks: List[SimulatedDisk] = []
         self.drivers: List[SimulatedDiskDriver] = []
-        for index in range(host.num_disks):
-            bus = self.buses[host.bus_for_disk(index)]
+        for index in range(num_disks):
+            bus = self.buses[bus_for_disk(index)]
             disk = SimulatedDisk(self.scheduler, spec, bus, name=f"disk{index}")
             driver = SimulatedDiskDriver(
                 self.scheduler,
@@ -251,27 +273,91 @@ class PatsySimulator:
             self.drivers.append(driver)
 
         # --- file-system components from the cut-and-paste library --------------
-        self.volume = Volume(self.drivers, block_size=cfg.cache.block_size)
-        self.layout = self._build_layout()
-        self.cache = BlockCache(self.scheduler, cfg.cache, with_data=False)
-        self.datamover = DataMover(charge_time=True, bandwidth=host.memory_copy_bandwidth)
-        self.flush_policy = make_flush_policy(cfg.flush)
-        cleaner = None
-        if isinstance(self.layout, LogStructuredLayout):
-            cleaner = CleanerDaemon(
-                self.scheduler,
-                self.layout,
-                make_cleaner(cfg.layout.cleaner_policy),
-                low_water=cfg.layout.cleaner_low_water,
-                high_water=cfg.layout.cleaner_high_water,
+        self.placement = None
+        self.cleaner = None
+        if array is None:
+            self.volume = Volume(self.drivers, block_size=cfg.cache.block_size)
+            self.layout = self._build_layout_for(self.volume, cfg.seed)
+            self.cache = BlockCache(self.scheduler, cfg.cache, with_data=False)
+            self.datamover = DataMover(charge_time=True, bandwidth=host.memory_copy_bandwidth)
+            self.flush_policy = make_flush_policy(cfg.flush)
+            if isinstance(self.layout, LogStructuredLayout):
+                self.cleaner = CleanerDaemon(
+                    self.scheduler,
+                    self.layout,
+                    make_cleaner(cfg.layout.cleaner_policy, cfg.layout.cleaner_age_scale),
+                    low_water=cfg.layout.cleaner_low_water,
+                    high_water=cfg.layout.cleaner_high_water,
+                )
+        else:
+            self.placement = make_placement_policy(
+                array.placement, array.volumes, stripe_unit=array.stripe_unit_blocks
             )
+            volumes = [
+                Volume(
+                    [self.drivers[i] for i in array.disks_of_volume(v)],
+                    block_size=cfg.cache.block_size,
+                )
+                for v in range(array.volumes)
+            ]
+            self.volume = VolumeSet(volumes)
+            sublayouts = [
+                self._build_layout_for(
+                    volumes[v], cfg.seed + v, inode_base=v, inode_stride=array.volumes
+                )
+                for v in range(array.volumes)
+            ]
+            self.layout = RoutedLayout(
+                self.scheduler,
+                self.volume,
+                sublayouts,
+                self.placement,
+                block_size=cfg.cache.block_size,
+                seed=cfg.seed,
+            )
+            if array.shard == "per-volume":
+                shard_config = replace(
+                    cfg.cache,
+                    size_bytes=max(
+                        cfg.cache.size_bytes // array.volumes, cfg.cache.block_size
+                    ),
+                )
+                shards = [
+                    BlockCache(self.scheduler, shard_config, with_data=False)
+                    for _ in range(array.volumes)
+                ]
+                router = self.placement.volume_for_block
+            else:  # "unified": one cache over all volumes
+                shards = [BlockCache(self.scheduler, cfg.cache, with_data=False)]
+                router = _route_to_shard_zero
+            self.cache = ShardedCache(shards, router)
+            self.datamover = DataMover(charge_time=True, bandwidth=host.memory_copy_bandwidth)
+            self.flush_policy = ShardedFlushPolicy(
+                cfg.flush,
+                high_water=array.governor_high_water,
+                low_water=array.governor_low_water,
+                check_interval=array.governor_interval,
+            )
+            lfs_daemons = [
+                CleanerDaemon(
+                    self.scheduler,
+                    sub,
+                    make_cleaner(cfg.layout.cleaner_policy, cfg.layout.cleaner_age_scale),
+                    low_water=cfg.layout.cleaner_low_water,
+                    high_water=cfg.layout.cleaner_high_water,
+                )
+                for sub in sublayouts
+                if isinstance(sub, LogStructuredLayout)
+            ]
+            if lfs_daemons:
+                self.cleaner = CleanerSet(lfs_daemons)
         self.fs = FileSystem(
             self.scheduler,
             self.cache,
             self.layout,
             self.datamover,
             flush_policy=self.flush_policy,
-            cleaner=cleaner,
+            cleaner=self.cleaner,
         )
         self.client = AbstractClientInterface(self.fs, auto_materialize=True)
 
@@ -284,23 +370,32 @@ class PatsySimulator:
 
     # ------------------------------------------------------------------ construction helpers
 
-    def _build_layout(self):
+    def _build_layout_for(
+        self, volume: Volume, seed: int, inode_base: int = 0, inode_stride: int = 1
+    ):
+        """One storage layout over one volume (a whole single-volume system,
+        or member ``inode_base`` of an ``inode_stride``-volume array)."""
         cfg = self.config
         if cfg.layout.kind == "lfs":
             return LogStructuredLayout(
                 self.scheduler,
-                self.volume,
+                volume,
                 block_size=cfg.cache.block_size,
                 segment_blocks=max(cfg.layout.segment_size // cfg.cache.block_size, 4),
                 simulated=True,
-                seed=cfg.seed,
+                seed=seed,
             )
         return FfsLikeLayout(
             self.scheduler,
-            self.volume,
+            volume,
             block_size=cfg.cache.block_size,
             simulated=True,
-            seed=cfg.seed,
+            seed=seed,
+            # FFS maps inode numbers to table slots; a member of an array
+            # serves only its own arithmetic progression of numbers, so the
+            # stride keeps its slot usage dense (full table capacity).
+            inode_base=inode_base,
+            inode_stride=inode_stride,
         )
 
     # ------------------------------------------------------------------ lifecycle
@@ -567,8 +662,74 @@ class PatsySimulator:
             write_savings_blocks=self.cache.stats.dirty_blocks_discarded,
             blocks_written_to_disk=self.cache.stats.blocks_written,
             stream_stats=dict(self._stream_stats),
+            volume_stats=self.collect_volume_stats(),
         )
         return result
+
+    def collect_volume_stats(self) -> Dict[str, Any]:
+        """Per-volume cache/layout/disk/flush breakdown plus an array-level
+        rollup.  Empty for single-volume (non-array) configurations."""
+        array = self.config.array
+        if array is None:
+            return {}
+        assert isinstance(self.layout, RoutedLayout)
+        assert isinstance(self.cache, ShardedCache)
+        elapsed = max(self.scheduler.now, 1e-9)
+        per_volume: Dict[str, Any] = {}
+        # Per-volume flush counters only exist with per-volume shards; a
+        # unified cache has one flush daemon for the whole array, whose
+        # counters belong in the rollup, not attributed to any one volume.
+        flush_children: List[dict] = []
+        if isinstance(self.flush_policy, ShardedFlushPolicy):
+            children = self.flush_policy.shard_stats()
+            if len(children) == array.volumes:
+                flush_children = children
+        for v in range(array.volumes):
+            sub = self.layout.sublayouts[v]
+            disks = {}
+            for index in array.disks_of_volume(v):
+                driver = self.drivers[index]
+                disks[driver.name] = {
+                    "operations": driver.stats.operations,
+                    "utilisation": driver.stats.utilisation(elapsed),
+                    "mean_queue_length": driver.stats.mean_queue_length(),
+                    "mean_response_time": driver.stats.mean_response_time(),
+                }
+            entry: Dict[str, Any] = {
+                "disks": disks,
+                "layout": {
+                    "kind": sub.name,
+                    "disk_reads": sub.stats.disk_reads,
+                    "disk_writes": sub.stats.disk_writes,
+                    "blocks_read": sub.stats.blocks_read,
+                    "blocks_written": sub.stats.blocks_written,
+                    "free_blocks": sub.free_blocks,
+                },
+            }
+            if len(self.cache.shards) == array.volumes:
+                entry["cache"] = self.cache.shards[v].stats.snapshot()
+            if v < len(flush_children):
+                entry["flush"] = flush_children[v]
+            per_volume[f"vol{v}"] = entry
+        rollup: Dict[str, Any] = {
+            "volumes": array.volumes,
+            "disks": array.total_disks,
+            "buses": array.buses,
+            "placement": array.placement,
+            "shard": array.shard,
+            "cache_hit_rate": self.cache.stats.hit_rate,
+            "blocks_written": self.cache.stats.blocks_written,
+            "disk_operations": sum(d.stats.operations for d in self.drivers),
+            "mean_disk_utilisation": (
+                sum(d.stats.utilisation(elapsed) for d in self.drivers) / len(self.drivers)
+            ),
+        }
+        rollup["layout"] = self.layout.combined_stats()
+        if isinstance(self.flush_policy, ShardedFlushPolicy):
+            rollup["flush"] = self.flush_policy.stats()
+            rollup["governor_wakeups"] = self.flush_policy.governor_wakeups
+            rollup["governor_flushes"] = self.flush_policy.governor_flushes
+        return {"per_volume": per_volume, "rollup": rollup}
 
     def collect_statistics(self) -> Dict[str, Any]:
         """All plug-in reports (without building a full result object)."""

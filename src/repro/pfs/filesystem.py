@@ -93,7 +93,10 @@ class PegasusFileSystem:
             cleaner = CleanerDaemon(
                 self.scheduler,
                 self.layout,
-                make_cleaner(self.layout_config.cleaner_policy),
+                make_cleaner(
+                    self.layout_config.cleaner_policy,
+                    self.layout_config.cleaner_age_scale,
+                ),
                 low_water=self.layout_config.cleaner_low_water,
                 high_water=self.layout_config.cleaner_high_water,
             )

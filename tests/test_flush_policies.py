@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import FlushConfig
+from repro.config import DAEMON_LOW_WATER_DEFAULTS, FlushConfig
 from repro.core.cache import BlockCache
 from repro.core.flush import (
     NvramPolicy,
@@ -194,3 +194,49 @@ def test_daemon_low_water_validation():
         FlushConfig(daemon_low_water=1.0)
     with pytest.raises(ConfigurationError):
         FlushConfig(daemon_low_water=-0.1)
+
+
+def test_daemon_low_water_per_policy_defaults():
+    # Unset (None) resolves to the documented per-policy defaults: periodic
+    # restocks 1/16 of the cache ahead of demand, UPS and NVRAM stay at 0.
+    assert FlushConfig(policy="periodic").resolved_daemon_low_water() == DAEMON_LOW_WATER_DEFAULTS["periodic"] > 0
+    assert FlushConfig(policy="ups").resolved_daemon_low_water() == 0.0
+    assert FlushConfig(policy="nvram").resolved_daemon_low_water() == 0.0
+    # An explicit setting always wins over the default.
+    assert FlushConfig(policy="periodic", daemon_low_water=0.0).resolved_daemon_low_water() == 0.0
+    assert FlushConfig(policy="nvram", daemon_low_water=0.25).resolved_daemon_low_water() == 0.25
+
+
+def test_ups_default_never_flush_aheads_under_sustained_pressure(scheduler):
+    """UPS write saving must stay strictly flush-on-demand: even a long run
+    of allocation pressure over a fully dirty cache must never write a
+    single block ahead of a real allocation request."""
+    cache, policy, written = make_cache_with_policy(
+        scheduler, FlushConfig(policy="ups"), blocks=8
+    )
+    dirty_blocks(scheduler, cache, 3, 8)
+
+    def churn():
+        for i in range(12):
+            yield from cache.allocate(4 + i, 0)
+
+    run(scheduler, churn)
+    scheduler.run(until=scheduler.now + 5.0)
+    assert policy.flush_ahead_blocks == 0
+    assert written, "demand flushing still happens"
+
+
+def test_periodic_default_flush_ahead_restocks_the_free_pool(scheduler):
+    # The periodic default (1/16 of the cache) restocks beyond the single
+    # demanded block, so allocation bursts coalesce into one daemon wakeup.
+    config = FlushConfig(policy="periodic", update_interval=1e6, scan_interval=1e5)
+    cache, policy, written = make_cache_with_policy(scheduler, config, blocks=32)
+    dirty_blocks(scheduler, cache, 3, 32)
+
+    def allocate_one():
+        yield from cache.allocate(4, 0)
+
+    run(scheduler, allocate_one)
+    scheduler.run(until=scheduler.now + 1.0)
+    assert policy.flush_ahead_blocks > 0
+    assert cache.free_count + cache.clean_count >= int(32 / 16)
