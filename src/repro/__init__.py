@@ -20,7 +20,16 @@ Quick start::
         print(policy, result.mean_latency)
 """
 
+from repro.assembly import (
+    OnlineBinding,
+    SimulatedBinding,
+    StackSpec,
+    StorageStack,
+    build_stack,
+    registry,
+)
 from repro.config import (
+    ArrayConfig,
     CacheConfig,
     FlushConfig,
     HostConfig,
@@ -28,6 +37,7 @@ from repro.config import (
     SimulationConfig,
     small_test_config,
     sprite_server_config,
+    sun4_280_config,
 )
 from repro.patsy.experiments import (
     EXPERIMENT_POLICIES,
@@ -46,6 +56,13 @@ from repro.pfs.nfs import NfsLoopbackClient, NfsServer
 __version__ = "1.0.0"
 
 __all__ = [
+    "OnlineBinding",
+    "SimulatedBinding",
+    "StackSpec",
+    "StorageStack",
+    "build_stack",
+    "registry",
+    "ArrayConfig",
     "CacheConfig",
     "FlushConfig",
     "HostConfig",
@@ -53,6 +70,7 @@ __all__ = [
     "SimulationConfig",
     "small_test_config",
     "sprite_server_config",
+    "sun4_280_config",
     "EXPERIMENT_POLICIES",
     "DelayedWriteExperiment",
     "mean_latency_table",

@@ -1,0 +1,196 @@
+"""Bindings: the helper-component bundles that pick a world for a stack.
+
+In the paper's taxonomy, *helper components* are the pieces the portable
+algorithms rest on — the clock, the disk drivers, the data movers.  A
+binding packages one consistent choice of helpers:
+
+* :class:`SimulatedBinding` — PATSY's world: a virtual clock, simulated
+  SCSI buses and HP 97560-style disks built from the spec's
+  :class:`~repro.config.HostConfig`, cache blocks with **no data
+  pointers** ("the difference between a simulated cache and a real cache
+  is the lack of a data pointer"), and a data mover that only *charges
+  time* for copies it never performs.
+* :class:`OnlineBinding` — PFS's world: memory- or file-backed drivers
+  that move real bytes, cache blocks with real buffers, a data mover that
+  really copies, and a virtual clock by default (the same code runs, but
+  tests finish instantly) or the wall clock on request.
+
+:func:`~repro.assembly.builder.build_stack` asks the binding for the
+scheduler, the drivers and the data mover; everything above the drivers is
+assembled identically for both worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+from repro.assembly.spec import StackSpec
+from repro.core.clock import RealClock, VirtualClock
+from repro.core.datamover import DataMover
+from repro.core.iosched import make_io_scheduler
+from repro.core.scheduler import Scheduler
+from repro.units import MB
+
+__all__ = ["Hardware", "Binding", "SimulatedBinding", "OnlineBinding"]
+
+
+@dataclass
+class Hardware:
+    """What a binding builds below the volume layer.
+
+    ``drivers`` always has one entry per disk of the spec's complement;
+    ``buses`` and ``disks`` are populated only by the simulated world
+    (an on-line machine's buses are not modelled).
+    """
+
+    drivers: List[Any]
+    buses: List[Any] = field(default_factory=list)
+    disks: List[Any] = field(default_factory=list)
+
+
+class Binding:
+    """Base class for helper-component bundles.
+
+    ``simulated`` selects the world: it flows into the layouts (which
+    synthesise block contents instead of reading them) and, negated, into
+    the cache's ``with_data``.
+    """
+
+    simulated: bool = True
+    #: whether the client interface materialises files named by a trace
+    #: on first touch (trace replay) or insists they really exist (PFS).
+    auto_materialize: bool = True
+
+    @property
+    def with_data(self) -> bool:
+        return not self.simulated
+
+    def make_scheduler(self, seed: int) -> Scheduler:
+        raise NotImplementedError
+
+    def build_hardware(self, spec: StackSpec, scheduler: Scheduler) -> Hardware:
+        raise NotImplementedError
+
+    def make_datamover(self, spec: StackSpec) -> DataMover:
+        raise NotImplementedError
+
+
+class SimulatedBinding(Binding):
+    """PATSY's helpers: virtual time, simulated buses/disks, no data."""
+
+    simulated = True
+    auto_materialize = True
+
+    def make_scheduler(self, seed: int) -> Scheduler:
+        return Scheduler(clock=VirtualClock(), seed=seed)
+
+    def build_hardware(self, spec: StackSpec, scheduler: Scheduler) -> Hardware:
+        # Imported here so the assembly layer does not hard-depend on the
+        # patsy package when only the on-line world is used.
+        from repro.patsy.bus import ScsiBus
+        from repro.patsy.diskspec import disk_spec_by_name
+        from repro.patsy.simdisk import SimulatedDisk
+        from repro.patsy.simdriver import SimulatedDiskDriver
+
+        host = spec.host
+        disk_spec = disk_spec_by_name(host.disk_model)
+        buses = [
+            ScsiBus(
+                scheduler,
+                name=f"scsi{i}",
+                bandwidth=host.bus_bandwidth,
+                arbitration_overhead=host.bus_overhead,
+            )
+            for i in range(spec.num_buses)
+        ]
+        disks: List[Any] = []
+        drivers: List[Any] = []
+        for index in range(spec.num_disks):
+            bus = buses[spec.bus_for_disk(index)]
+            disk = SimulatedDisk(scheduler, disk_spec, bus, name=f"disk{index}")
+            driver = SimulatedDiskDriver(
+                scheduler,
+                disk,
+                bus,
+                name=f"sim-disk{index}",
+                io_scheduler=make_io_scheduler(host.io_scheduler),
+            )
+            disks.append(disk)
+            drivers.append(driver)
+        return Hardware(drivers=drivers, buses=buses, disks=disks)
+
+    def make_datamover(self, spec: StackSpec) -> DataMover:
+        # The simulator cannot perform the buffer copies, so it charges
+        # time for them at the host's memory bandwidth.
+        return DataMover(charge_time=True, bandwidth=spec.host.memory_copy_bandwidth)
+
+
+class OnlineBinding(Binding):
+    """PFS's helpers: real bytes on memory- or file-backed drivers.
+
+    Parameters
+    ----------
+    backing:
+        ``None`` for in-memory disks, or the path used as the disk
+        back-end.  A single-disk spec uses the bare path (compatible with
+        existing images); a multi-disk spec stores disk ``i`` in
+        ``<backing>.d<i>`` for *every* disk, so a pre-existing single-disk
+        image is never silently adopted as one member of a fresh array.
+    size_bytes:
+        Total capacity, split evenly over the spec's disk complement.
+    real_time:
+        Use the wall clock instead of virtual time.
+    """
+
+    simulated = False
+    auto_materialize = False
+
+    def __init__(
+        self,
+        backing: Optional[Union[str, Path]] = None,
+        size_bytes: int = 64 * MB,
+        real_time: bool = False,
+    ):
+        self.backing = None if backing is None else Path(backing)
+        self.size_bytes = size_bytes
+        self.real_time = real_time
+
+    def make_scheduler(self, seed: int) -> Scheduler:
+        clock = RealClock() if self.real_time else VirtualClock()
+        return Scheduler(clock=clock, seed=seed)
+
+    def build_hardware(self, spec: StackSpec, scheduler: Scheduler) -> Hardware:
+        from repro.pfs.diskfile import FileBackedDiskDriver, MemoryBackedDiskDriver
+
+        num_disks = spec.num_disks
+        per_disk = self.size_bytes // num_disks
+        drivers: List[Any] = []
+        for index in range(num_disks):
+            io_scheduler = make_io_scheduler(spec.host.io_scheduler)
+            if self.backing is None:
+                drivers.append(
+                    MemoryBackedDiskDriver(
+                        scheduler,
+                        size_bytes=per_disk,
+                        name=f"memdisk{index}",
+                        io_scheduler=io_scheduler,
+                    )
+                )
+            else:
+                path = self.backing if num_disks == 1 else Path(f"{self.backing}.d{index}")
+                drivers.append(
+                    FileBackedDiskDriver(
+                        scheduler,
+                        path,
+                        size_bytes=per_disk,
+                        name=f"filedisk{index}",
+                        io_scheduler=io_scheduler,
+                    )
+                )
+        return Hardware(drivers=drivers)
+
+    def make_datamover(self, spec: StackSpec) -> DataMover:
+        # Real copies happen in real code; virtual time charges nothing.
+        return DataMover(charge_time=False)

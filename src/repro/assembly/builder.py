@@ -1,0 +1,252 @@
+"""``build_stack``: the one place a storage stack is assembled.
+
+Both instantiations of the framework — the PATSY simulator and the Pegasus
+file system — used to hand-assemble their component stacks in their
+constructors, and the two copies drifted (PFS never gained the multi-volume
+array).  This builder is now the only assembly path: a world-independent
+:class:`~repro.assembly.spec.StackSpec` plus a world-picking
+:class:`~repro.assembly.bindings.Binding` yields a fully wired
+:class:`StorageStack`, and the two front-ends are thin facades over it.
+
+The construction order below is load-bearing: scheduler interactions during
+assembly (thread spawns, RNG wiring) must be identical across worlds and
+identical to the historical order, so that a one-volume array stays
+byte-identical to the legacy single-volume assembly (pinned by
+``tests/test_array.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Union
+
+from repro.assembly.bindings import Binding, Hardware
+from repro.assembly.registry import registry
+from repro.assembly.spec import StackSpec
+from repro.core.cache import BlockCache
+from repro.core.client import AbstractClientInterface
+from repro.core.datamover import DataMover
+from repro.core.filesystem import FileSystem
+from repro.core.flush import FlushPolicy, ShardedFlushPolicy, make_flush_policy
+from repro.core.scheduler import Scheduler
+from repro.core.storage.array import (
+    PlacementPolicy,
+    RoutedLayout,
+    ShardedCache,
+    VolumeSet,
+    make_placement_policy,
+)
+from repro.core.storage.cleaner import CleanerDaemon, CleanerSet, make_cleaner
+from repro.core.storage.lfs import LogStructuredLayout
+from repro.core.storage.volume import Volume
+
+# Imported for their registry side effects: the built-in layouts register
+# themselves under the "layout" kind when their module loads (lfs does so
+# via the import above).
+import repro.core.storage.ffs  # noqa: E402,F401  (registers "ffs")
+
+__all__ = ["StorageStack", "build_stack"]
+
+
+def _route_to_shard_zero(file_id: int, block_no: int) -> int:
+    """Cache router for the "unified" shard policy: one cache, N volumes."""
+    return 0
+
+
+@dataclass
+class StorageStack:
+    """Everything :func:`build_stack` assembled, ready to mount.
+
+    The same shape comes back for both worlds; the only differences are the
+    hardware lists (buses/disks are simulator-only) and what the components
+    were parameterised with (``with_data``, clocks, data movers).
+    """
+
+    spec: StackSpec
+    binding: Binding
+    scheduler: Scheduler
+    #: simulated SCSI buses (empty for the on-line world).
+    buses: List[Any]
+    #: simulated disk mechanisms (empty for the on-line world).
+    disks: List[Any]
+    #: one disk driver per disk of the spec's complement.
+    drivers: List[Any]
+    #: a Volume, or a VolumeSet for an array stack.
+    volume: Union[Volume, VolumeSet]
+    #: a single layout, or a RoutedLayout over per-volume sub-layouts.
+    layout: Any
+    #: a BlockCache, or a ShardedCache for an array stack.
+    cache: Union[BlockCache, ShardedCache]
+    datamover: DataMover
+    flush_policy: FlushPolicy
+    #: a CleanerDaemon, a CleanerSet (array of LFS volumes), or None.
+    cleaner: Optional[Union[CleanerDaemon, CleanerSet]]
+    #: the placement policy (array stacks only).
+    placement: Optional[PlacementPolicy]
+    fs: FileSystem = field(init=False)
+    client: AbstractClientInterface = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.fs = FileSystem(
+            self.scheduler,
+            self.cache,
+            self.layout,
+            self.datamover,
+            flush_policy=self.flush_policy,
+            cleaner=self.cleaner,
+        )
+        self.client = AbstractClientInterface(
+            self.fs, auto_materialize=self.binding.auto_materialize
+        )
+
+
+def _build_layout(
+    spec: StackSpec,
+    scheduler: Scheduler,
+    volume: Volume,
+    simulated: bool,
+    seed: int,
+    inode_base: int = 0,
+    inode_stride: int = 1,
+):
+    """One storage layout over one volume (a whole single-volume system,
+    or member ``inode_base`` of an ``inode_stride``-volume array), created
+    through the "layout" component registry."""
+    return registry.create(
+        "layout",
+        spec.layout.kind,
+        scheduler,
+        volume,
+        block_size=spec.cache.block_size,
+        simulated=simulated,
+        seed=seed,
+        layout_config=spec.layout,
+        inode_base=inode_base,
+        inode_stride=inode_stride,
+    )
+
+
+def _make_cleaner_daemon(
+    spec: StackSpec, scheduler: Scheduler, layout: LogStructuredLayout
+) -> CleanerDaemon:
+    return CleanerDaemon(
+        scheduler,
+        layout,
+        make_cleaner(spec.layout.cleaner_policy, spec.layout.cleaner_age_scale),
+        low_water=spec.layout.cleaner_low_water,
+        high_water=spec.layout.cleaner_high_water,
+    )
+
+
+def build_stack(
+    spec: StackSpec,
+    binding: Binding,
+    scheduler: Optional[Scheduler] = None,
+) -> StorageStack:
+    """Assemble a full storage stack from a spec and a binding.
+
+    ``scheduler`` lets a caller share an existing scheduler (e.g. to embed
+    a stack in a larger simulation); by default the binding creates the
+    world's own (virtual- or real-clocked) scheduler from ``spec.seed``.
+    """
+    if scheduler is None:
+        scheduler = binding.make_scheduler(spec.seed)
+    hardware: Hardware = binding.build_hardware(spec, scheduler)
+    drivers = hardware.drivers
+
+    array = spec.array
+    simulated = binding.simulated
+    with_data = binding.with_data
+    placement: Optional[PlacementPolicy] = None
+    cleaner: Optional[Union[CleanerDaemon, CleanerSet]] = None
+
+    if array is None:
+        volume: Union[Volume, VolumeSet] = Volume(
+            drivers, block_size=spec.cache.block_size
+        )
+        layout = _build_layout(spec, scheduler, volume, simulated, spec.seed)
+        cache: Union[BlockCache, ShardedCache] = BlockCache(
+            scheduler, spec.cache, with_data=with_data
+        )
+        datamover = binding.make_datamover(spec)
+        flush_policy: FlushPolicy = make_flush_policy(spec.flush)
+        if isinstance(layout, LogStructuredLayout):
+            cleaner = _make_cleaner_daemon(spec, scheduler, layout)
+    else:
+        placement = make_placement_policy(
+            array.placement, array.volumes, stripe_unit=array.stripe_unit_blocks
+        )
+        volumes = [
+            Volume(
+                [drivers[i] for i in array.disks_of_volume(v)],
+                block_size=spec.cache.block_size,
+            )
+            for v in range(array.volumes)
+        ]
+        volume = VolumeSet(volumes)
+        sublayouts = [
+            _build_layout(
+                spec,
+                scheduler,
+                volumes[v],
+                simulated,
+                spec.seed + v,
+                inode_base=v,
+                inode_stride=array.volumes,
+            )
+            for v in range(array.volumes)
+        ]
+        layout = RoutedLayout(
+            scheduler,
+            volume,
+            sublayouts,
+            placement,
+            block_size=spec.cache.block_size,
+            seed=spec.seed,
+        )
+        if array.shard == "per-volume":
+            shard_config = replace(
+                spec.cache,
+                size_bytes=max(
+                    spec.cache.size_bytes // array.volumes, spec.cache.block_size
+                ),
+            )
+            shards = [
+                BlockCache(scheduler, shard_config, with_data=with_data)
+                for _ in range(array.volumes)
+            ]
+            router = placement.volume_for_block
+        else:  # "unified": one cache over all volumes
+            shards = [BlockCache(scheduler, spec.cache, with_data=with_data)]
+            router = _route_to_shard_zero
+        cache = ShardedCache(shards, router)
+        datamover = binding.make_datamover(spec)
+        flush_policy = ShardedFlushPolicy(
+            spec.flush,
+            high_water=array.governor_high_water,
+            low_water=array.governor_low_water,
+            check_interval=array.governor_interval,
+        )
+        lfs_daemons = [
+            _make_cleaner_daemon(spec, scheduler, sub)
+            for sub in sublayouts
+            if isinstance(sub, LogStructuredLayout)
+        ]
+        if lfs_daemons:
+            cleaner = CleanerSet(lfs_daemons)
+
+    return StorageStack(
+        spec=spec,
+        binding=binding,
+        scheduler=scheduler,
+        buses=hardware.buses,
+        disks=hardware.disks,
+        drivers=drivers,
+        volume=volume,
+        layout=layout,
+        cache=cache,
+        datamover=datamover,
+        flush_policy=flush_policy,
+        cleaner=cleaner,
+        placement=placement,
+    )

@@ -1,0 +1,168 @@
+"""``StackSpec``: a world-independent description of a full storage stack.
+
+A spec says *what* the stack is — cache geometry and replacement policy,
+flush policy and governor marks, storage layout(s), array shape and
+placement, cleaner policy — without saying *where* it runs.  The same spec
+builds the off-line simulator (PATSY) under a
+:class:`~repro.assembly.bindings.SimulatedBinding` and the on-line file
+system (PFS) under an :class:`~repro.assembly.bindings.OnlineBinding`;
+that is the paper's cut-and-paste claim made into an object.
+
+Specs are frozen (hashable, safe to share between runs) and serialise to
+plain dicts, so an experiment manifest can carry the exact stack it ran —
+``StackSpec.from_dict(json.load(f))`` rebuilds it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional
+
+from repro.config import (
+    ArrayConfig,
+    CacheConfig,
+    FlushConfig,
+    HostConfig,
+    LayoutConfig,
+    SimulationConfig,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["StackSpec"]
+
+#: sub-config dataclass per StackSpec field, for (de)serialisation.
+_SECTION_TYPES = {
+    "cache": CacheConfig,
+    "flush": FlushConfig,
+    "layout": LayoutConfig,
+    "host": HostConfig,
+    "array": ArrayConfig,
+}
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """Declarative description of one storage stack.
+
+    The fields mirror :class:`~repro.config.SimulationConfig`'s sub-configs
+    — they *are* those dataclasses, so every knob documented there applies
+    unchanged.  ``host`` describes the hardware complement: the simulated
+    binding builds exactly that machine (disk model, buses, I/O scheduler);
+    the on-line binding keeps the disk/volume counts and the I/O scheduler
+    and ignores the performance model underneath.
+    """
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    flush: FlushConfig = field(default_factory=FlushConfig)
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    #: multi-volume storage array; None = the classic single-volume stack.
+    array: Optional[ArrayConfig] = None
+    #: seed for the scheduler and any synthesised parameters.
+    seed: int = 0
+
+    # ------------------------------------------------------------------ derived shape
+
+    @property
+    def num_volumes(self) -> int:
+        return self.array.volumes if self.array is not None else 1
+
+    @property
+    def num_disks(self) -> int:
+        """Total disk complement (the array owns it when present)."""
+        return self.array.total_disks if self.array is not None else self.host.num_disks
+
+    @property
+    def num_buses(self) -> int:
+        return self.array.buses if self.array is not None else self.host.num_buses
+
+    def bus_for_disk(self, disk_index: int) -> int:
+        owner = self.array if self.array is not None else self.host
+        return owner.bus_for_disk(disk_index)
+
+    def disks_of_volume(self, volume_index: int) -> range:
+        """Global disk indices of one volume (all disks for a non-array)."""
+        if self.array is not None:
+            return self.array.disks_of_volume(volume_index)
+        if volume_index != 0:
+            raise ConfigurationError("a single-volume stack only has volume 0")
+        return range(self.num_disks)
+
+    # ------------------------------------------------------------------ conversions
+
+    @classmethod
+    def from_config(cls, config: SimulationConfig) -> "StackSpec":
+        """The stack described by a full simulation configuration."""
+        return cls(
+            cache=config.cache,
+            flush=config.flush,
+            layout=config.layout,
+            host=config.host,
+            array=config.array,
+            seed=config.seed,
+        )
+
+    def to_config(self, **overrides: Any) -> SimulationConfig:
+        """A :class:`~repro.config.SimulationConfig` running this stack.
+
+        ``overrides`` forwards any of the run-scoped knobs the spec does
+        not carry (``report_interval``, ``max_simulated_time``,
+        ``streaming``).
+        """
+        return SimulationConfig(
+            cache=self.cache,
+            flush=self.flush,
+            layout=self.layout,
+            host=self.host,
+            array=self.array,
+            seed=self.seed,
+            **overrides,
+        )
+
+    def with_array(self, array: Optional[ArrayConfig]) -> "StackSpec":
+        """A copy of this spec on a different array shape (None removes it)."""
+        return replace(self, array=array)
+
+    # ------------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict form (JSON-safe) for experiment manifests."""
+        data: Dict[str, Any] = {}
+        for name, section_type in _SECTION_TYPES.items():
+            value = getattr(self, name)
+            data[name] = None if value is None else asdict(value)
+        data["seed"] = self.seed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StackSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Missing sections take their defaults; unknown keys (inside a
+        section or at the top level) are rejected so a typo in a manifest
+        fails loudly instead of silently running the default stack.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown StackSpec keys: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for name, section_type in _SECTION_TYPES.items():
+            if name not in data:
+                continue
+            section = data[name]
+            if section is None:
+                kwargs[name] = None
+                continue
+            if not isinstance(section, dict):
+                raise ConfigurationError(f"StackSpec section {name!r} must be a dict")
+            valid = {f.name for f in fields(section_type)}
+            bad = set(section) - valid
+            if bad:
+                raise ConfigurationError(
+                    f"unknown keys in StackSpec section {name!r}: {sorted(bad)}"
+                )
+            kwargs[name] = section_type(**section)
+        if "seed" in data:
+            kwargs["seed"] = int(data["seed"])
+        return cls(**kwargs)

@@ -17,6 +17,20 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.units import DEFAULT_BLOCK_SIZE, KB, MB
 
+
+def _is_registered(kind: str, name: str) -> bool:
+    """Whether a component is registered under ``(kind, name)``.
+
+    Policy-name validation accepts the built-in names statically and falls
+    back to the :mod:`repro.assembly.registry` for third-party components
+    (which must be registered before the configuration is constructed).
+    The import is lazy because config sits below the assembly layer in the
+    import graph.
+    """
+    from repro.assembly.registry import registry
+
+    return registry.has(kind, name)
+
 __all__ = [
     "CacheConfig",
     "FlushConfig",
@@ -63,7 +77,7 @@ class CacheConfig:
             "clock",
             "2q",
             "arc",
-        }:
+        } and not _is_registered("replacement", self.replacement):
             raise ConfigurationError(f"unknown replacement policy {self.replacement!r}")
         # Policy parameters are validated only for the selected policy:
         # the knobs are documented as "only used by" their policy, and a
@@ -131,7 +145,9 @@ class FlushConfig:
     daemon_low_water: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.policy not in {"periodic", "ups", "nvram"}:
+        if self.policy not in {"periodic", "ups", "nvram"} and not _is_registered(
+            "flush", self.policy
+        ):
             raise ConfigurationError(f"unknown flush policy {self.policy!r}")
         if self.update_interval <= 0 or self.scan_interval <= 0:
             raise ConfigurationError("flush intervals must be positive")
@@ -167,13 +183,15 @@ class LayoutConfig:
     cylinder_group_size: int = 2 * MB
 
     def __post_init__(self) -> None:
-        if self.kind not in {"lfs", "ffs"}:
+        if self.kind not in {"lfs", "ffs"} and not _is_registered("layout", self.kind):
             raise ConfigurationError(f"unknown storage layout {self.kind!r}")
         if self.segment_size <= 0:
             raise ConfigurationError("segment_size must be positive")
         if not (0.0 <= self.cleaner_low_water < self.cleaner_high_water <= 1.0):
             raise ConfigurationError("cleaner water marks must satisfy 0 <= low < high <= 1")
-        if self.cleaner_policy not in {"greedy", "cost-benefit"}:
+        if self.cleaner_policy not in {"greedy", "cost-benefit"} and not _is_registered(
+            "cleaner", self.cleaner_policy
+        ):
             raise ConfigurationError(f"unknown cleaner policy {self.cleaner_policy!r}")
         if self.cleaner_age_scale <= 0:
             raise ConfigurationError("cleaner_age_scale must be positive")
@@ -201,7 +219,14 @@ class HostConfig:
             raise ConfigurationError("need at least one disk and one bus")
         if self.num_buses > self.num_disks:
             raise ConfigurationError("more buses than disks makes no sense")
-        if self.io_scheduler not in {"fcfs", "scan", "cscan", "look", "clook", "scan-edf"}:
+        if self.io_scheduler not in {
+            "fcfs",
+            "scan",
+            "cscan",
+            "look",
+            "clook",
+            "scan-edf",
+        } and not _is_registered("iosched", self.io_scheduler):
             raise ConfigurationError(f"unknown I/O scheduler {self.io_scheduler!r}")
 
     def bus_for_disk(self, disk_index: int) -> int:
@@ -264,7 +289,9 @@ class ArrayConfig:
             raise ConfigurationError("each volume needs at least one disk")
         if self.buses > disks:
             raise ConfigurationError("more buses than disks makes no sense")
-        if self.placement not in {"hash", "stripe", "directory"}:
+        if self.placement not in {"hash", "stripe", "directory"} and not _is_registered(
+            "placement", self.placement
+        ):
             raise ConfigurationError(f"unknown placement policy {self.placement!r}")
         if self.stripe_unit_blocks < 1:
             raise ConfigurationError("stripe_unit_blocks must be positive")

@@ -29,6 +29,7 @@ from abc import ABC
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
+from repro.assembly.registry import registry
 from repro.config import FlushConfig
 from repro.core.cache import BlockCache
 from repro.core.scheduler import Scheduler, Thread
@@ -375,12 +376,16 @@ class ShardedFlushPolicy(FlushPolicy):
         return [child.stats() for child in self.children]
 
 
+# "flush" factories take one FlushConfig and return an unattached policy.
+registry.register("flush", "periodic", PeriodicUpdatePolicy)
+registry.register("flush", "ups", WriteSavingPolicy)
+registry.register("flush", "nvram", NvramPolicy)
+
+
 def make_flush_policy(config: FlushConfig) -> FlushPolicy:
-    """Instantiate the flush policy selected by ``config.policy``."""
-    if config.policy == "periodic":
-        return PeriodicUpdatePolicy(config)
-    if config.policy == "ups":
-        return WriteSavingPolicy(config)
-    if config.policy == "nvram":
-        return NvramPolicy(config)
-    raise ConfigurationError(f"unknown flush policy {config.policy!r}")
+    """Instantiate the flush policy selected by ``config.policy``.
+
+    Thin wrapper over ``registry.create("flush", ...)``; a third-party
+    policy registered under kind ``"flush"`` is instantiated the same way.
+    """
+    return registry.create("flush", config.policy, config)

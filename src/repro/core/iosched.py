@@ -16,6 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional, TYPE_CHECKING
 
+from repro.assembly.registry import registry
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -190,16 +191,23 @@ class ScanEdfScheduler(IoScheduler):
         return self._take(chosen)
 
 
+# "iosched" factories take no arguments and return a fresh IoScheduler
+# (each disk driver owns its own queue, so instances are never shared).
+for _cls in (
+    FcfsScheduler,
+    LookScheduler,
+    ClookScheduler,
+    ScanScheduler,
+    CscanScheduler,
+    ScanEdfScheduler,
+):
+    registry.register("iosched", _cls.name, _cls)
+
+
 def make_io_scheduler(name: str) -> IoScheduler:
-    """Factory keyed by the ``HostConfig.io_scheduler`` names."""
-    schedulers = {
-        "fcfs": FcfsScheduler,
-        "look": LookScheduler,
-        "clook": ClookScheduler,
-        "scan": ScanScheduler,
-        "cscan": CscanScheduler,
-        "scan-edf": ScanEdfScheduler,
-    }
-    if name not in schedulers:
-        raise ConfigurationError(f"unknown I/O scheduler {name!r}")
-    return schedulers[name]()
+    """Factory keyed by the ``HostConfig.io_scheduler`` names.
+
+    Thin wrapper over ``registry.create("iosched", name)``; third-party
+    schedulers registered under the same kind are constructible here too.
+    """
+    return registry.create("iosched", name)

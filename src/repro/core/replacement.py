@@ -44,6 +44,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator, Optional
 
+from repro.assembly.registry import registry
 from repro.core.blocks import BlockId, CacheBlock
 from repro.errors import CacheError, ConfigurationError
 
@@ -1028,6 +1029,48 @@ class ArcPolicy(ReplacementPolicy):
 POLICY_NAMES = ("lru", "random", "lfu", "slru", "lru-k", "clock", "2q", "arc")
 
 
+# "replacement" factories take (capacity, rng=None, stats=None) plus any of
+# the CacheConfig policy knobs they care about, by name; the factory below
+# only forwards the knobs a factory's signature declares, so a plain policy
+# class (capacity, rng, stats) registers directly without adapter noise.
+for _cls in (LruPolicy, RandomPolicy, LfuPolicy, ClockPolicy, ArcPolicy):
+    registry.register("replacement", _cls.name, _cls)
+registry.register(
+    "replacement",
+    "slru",
+    lambda capacity, rng=None, stats=None, slru_fraction=0.5: SlruPolicy(
+        capacity, rng, stats, protected_fraction=slru_fraction
+    ),
+)
+registry.register(
+    "replacement",
+    "lru-k",
+    lambda capacity, rng=None, stats=None, k=2: LruKPolicy(capacity, rng, stats, k=k),
+)
+registry.register(
+    "replacement",
+    "2q",
+    lambda capacity, rng=None, stats=None, twoq_in_fraction=0.25,
+    twoq_out_fraction=0.5: TwoQPolicy(
+        capacity, rng, stats, in_fraction=twoq_in_fraction, out_fraction=twoq_out_fraction
+    ),
+)
+
+
+def _accepted_kwargs(factory, kwargs: dict) -> dict:
+    """The subset of ``kwargs`` that ``factory``'s signature accepts (all
+    of them when it declares ``**kwargs``)."""
+    import inspect
+
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return kwargs
+    if any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+        return kwargs
+    return {key: value for key, value in kwargs.items() if key in parameters}
+
+
 def make_replacement_policy(
     name: str,
     capacity: int,
@@ -1039,23 +1082,24 @@ def make_replacement_policy(
     twoq_in_fraction: float = 0.25,
     twoq_out_fraction: float = 0.5,
 ) -> ReplacementPolicy:
-    """Factory used by :class:`repro.core.cache.BlockCache` from configuration."""
-    if name == "lru":
-        return LruPolicy(capacity, rng, stats)
-    if name == "random":
-        return RandomPolicy(capacity, rng, stats)
-    if name == "lfu":
-        return LfuPolicy(capacity, rng, stats)
-    if name == "slru":
-        return SlruPolicy(capacity, rng, stats, protected_fraction=slru_fraction)
-    if name == "lru-k":
-        return LruKPolicy(capacity, rng, stats, k=k)
-    if name == "clock":
-        return ClockPolicy(capacity, rng, stats)
-    if name == "2q":
-        return TwoQPolicy(
-            capacity, rng, stats, in_fraction=twoq_in_fraction, out_fraction=twoq_out_fraction
-        )
-    if name == "arc":
-        return ArcPolicy(capacity, rng, stats)
-    raise ConfigurationError(f"unknown replacement policy {name!r}")
+    """Factory used by :class:`repro.core.cache.BlockCache` from configuration.
+
+    Thin wrapper over ``registry.create("replacement", ...)``: every policy
+    knob is offered as a keyword, but only the ones a factory's signature
+    declares are actually passed, so a third-party policy class registered
+    directly (``registry.register("replacement", "mru", MruPolicy)``) is
+    constructible from a :class:`~repro.config.CacheConfig` too.
+    """
+    factory = registry.get("replacement", name)
+    kwargs = _accepted_kwargs(
+        factory,
+        {
+            "rng": rng,
+            "stats": stats,
+            "slru_fraction": slru_fraction,
+            "k": k,
+            "twoq_in_fraction": twoq_in_fraction,
+            "twoq_out_fraction": twoq_out_fraction,
+        },
+    )
+    return registry.create("replacement", name, capacity, **kwargs)

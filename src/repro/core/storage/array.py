@@ -30,6 +30,7 @@ import zlib
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, Generator, Iterable, Iterator, List, Optional, Sequence
 
+from repro.assembly.registry import registry
 from repro.core.blocks import CacheBlock
 from repro.core.cache import BlockCache, CacheStatistics
 from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
@@ -166,17 +167,28 @@ class DirectoryAffinityPlacement(PlacementPolicy):
         return self.volume_of_file(parent_id)
 
 
+# "placement" factories take (num_volumes, stripe_unit=...) and return a
+# PlacementPolicy; whole-file policies ignore the stripe keyword.
+registry.register(
+    "placement", "hash", lambda num_volumes, stripe_unit=16: HashPlacement(num_volumes)
+)
+registry.register("placement", "stripe", StripedPlacement)
+registry.register(
+    "placement",
+    "directory",
+    lambda num_volumes, stripe_unit=16: DirectoryAffinityPlacement(num_volumes),
+)
+
+
 def make_placement_policy(
     name: str, num_volumes: int, stripe_unit: int = 16
 ) -> PlacementPolicy:
-    """Factory keyed by ``ArrayConfig.placement``."""
-    if name == "hash":
-        return HashPlacement(num_volumes)
-    if name == "stripe":
-        return StripedPlacement(num_volumes, stripe_unit=stripe_unit)
-    if name == "directory":
-        return DirectoryAffinityPlacement(num_volumes)
-    raise ConfigurationError(f"unknown placement policy {name!r}")
+    """Factory keyed by ``ArrayConfig.placement``.
+
+    Thin wrapper over ``registry.create("placement", ...)``; third-party
+    placement policies registered under the same kind work here unchanged.
+    """
+    return registry.create("placement", name, num_volumes, stripe_unit=stripe_unit)
 
 
 # --------------------------------------------------------------------------- volume set

@@ -13,6 +13,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Generator, Optional, Sequence
 
+from repro.assembly.registry import registry
 from repro.core.scheduler import Scheduler, Thread
 from repro.core.storage.lfs import LogStructuredLayout, SegmentInfo
 from repro.errors import ConfigurationError
@@ -173,10 +174,16 @@ class CleanerSet:
         return iter(self.daemons)
 
 
+# "cleaner" factories take (age_scale=...) and return a SegmentCleaner;
+# policies that do not use an age model simply ignore the keyword.
+registry.register("cleaner", "greedy", lambda age_scale=30.0: GreedyCleaner())
+registry.register("cleaner", "cost-benefit", CostBenefitCleaner)
+
+
 def make_cleaner(name: str, age_scale: float = 30.0) -> SegmentCleaner:
-    """Factory keyed by ``LayoutConfig.cleaner_policy``."""
-    if name == "greedy":
-        return GreedyCleaner()
-    if name == "cost-benefit":
-        return CostBenefitCleaner(age_scale=age_scale)
-    raise ConfigurationError(f"unknown cleaner policy {name!r}")
+    """Factory keyed by ``LayoutConfig.cleaner_policy``.
+
+    Thin wrapper over ``registry.create("cleaner", ...)``; third-party
+    cleaners registered under the same kind work here unchanged.
+    """
+    return registry.create("cleaner", name, age_scale=age_scale)

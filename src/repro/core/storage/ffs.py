@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from repro.assembly.registry import registry
 from repro.core import codec
 from repro.core.blocks import CacheBlock
 from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
@@ -270,3 +271,35 @@ class FfsLikeLayout(StorageLayout):
         if len(data) > self.block_size:
             raise StorageError(f"payload of {len(data)} bytes exceeds the block size")
         return data + bytes(self.block_size - len(data))
+
+
+# --------------------------------------------------------------------------- registry
+#
+# "layout" factories share one signature (see repro.core.storage.lfs); FFS
+# maps inode numbers to dense table slots, so an array member needs its
+# arithmetic progression (inode_base/inode_stride) at construction time.
+
+
+def _build_ffs_layout(
+    scheduler,
+    volume,
+    *,
+    block_size,
+    simulated,
+    seed,
+    layout_config,
+    inode_base=0,
+    inode_stride=1,
+):
+    return FfsLikeLayout(
+        scheduler,
+        volume,
+        block_size=block_size,
+        simulated=simulated,
+        seed=seed,
+        inode_base=inode_base,
+        inode_stride=inode_stride,
+    )
+
+
+registry.register("layout", "ffs", _build_ffs_layout)

@@ -29,6 +29,7 @@ from bisect import bisect_right
 from collections import defaultdict
 from typing import Any, Generator, Optional
 
+from repro.assembly.registry import registry
 from repro.core import codec
 from repro.core.blocks import CacheBlock
 from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
@@ -556,3 +557,36 @@ class LogStructuredLayout(StorageLayout):
         if len(data) > self.block_size:
             raise StorageError(f"payload of {len(data)} bytes exceeds the block size")
         return data + bytes(self.block_size - len(data))
+
+
+# --------------------------------------------------------------------------- registry
+#
+# "layout" factories share one signature so the assembly builder can
+# instantiate any registered layout from a LayoutConfig:
+#   factory(scheduler, volume, block_size=..., simulated=..., seed=...,
+#           layout_config=LayoutConfig, inode_base=0, inode_stride=1)
+# LFS maps arbitrary inode numbers, so it ignores the array progression.
+
+
+def _build_lfs_layout(
+    scheduler,
+    volume,
+    *,
+    block_size,
+    simulated,
+    seed,
+    layout_config,
+    inode_base=0,
+    inode_stride=1,
+):
+    return LogStructuredLayout(
+        scheduler,
+        volume,
+        block_size=block_size,
+        segment_blocks=max(layout_config.segment_size // block_size, 4),
+        simulated=simulated,
+        seed=seed,
+    )
+
+
+registry.register("layout", "lfs", _build_lfs_layout)

@@ -21,10 +21,17 @@ sizes are scaled down by the same factor (``memory_scale``); the published
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.config import FlushConfig, HostConfig, SimulationConfig, sprite_server_config
+from repro.assembly.spec import StackSpec
+from repro.config import (
+    FlushConfig,
+    HostConfig,
+    SimulationConfig,
+    sprite_server_config,
+    sun4_280_config,
+)
 from repro.errors import ConfigurationError
 from repro.patsy.simulator import PatsySimulator, SimulationResult
 from repro.patsy.synthetic import SPRITE_TRACE_NAMES, sprite_like_trace
@@ -32,6 +39,7 @@ from repro.patsy.traces import TraceRecord
 
 __all__ = [
     "EXPERIMENT_POLICIES",
+    "FULL_HARDWARE_VOLUMES",
     "DelayedWriteExperiment",
     "experiment_config",
     "run_delayed_write_experiment",
@@ -57,15 +65,24 @@ EXPERIMENT_POLICIES: Dict[str, FlushConfig] = {
 DEFAULT_MEMORY_SCALE = 1.0 / 2.0
 
 #: default number of disks/buses; the full Sprite complement (10 disks on
-#: 3 buses) is available via ``full_hardware=True`` but a smaller complement
-#: keeps the default runs fast and concentrates the queueing effects the
-#: experiments are about.
+#: 3 buses, five volumes) is available via ``full_hardware=True`` but a
+#: smaller complement keeps the default runs fast and concentrates the
+#: queueing effects the experiments are about.
 DEFAULT_HOST = HostConfig(num_disks=1, num_buses=1)
+
+#: the paper machine's array shape used when ``full_hardware=True``.
+FULL_HARDWARE_VOLUMES = 5
 
 
 @dataclass(frozen=True)
 class DelayedWriteExperiment:
-    """A fully-specified experiment: one trace replayed under one policy."""
+    """A fully-specified experiment: one trace replayed under one policy.
+
+    ``full_hardware=True`` puts the run on the paper's evaluation machine —
+    the ``sun4_280`` preset's ten-disk/three-bus storage array, carved into
+    ``volumes`` volumes with ``placement`` routing — instead of the fast
+    single-disk default.  :meth:`with_array` is the fluent form.
+    """
 
     trace_name: str
     policy_name: str
@@ -73,6 +90,14 @@ class DelayedWriteExperiment:
     trace_scale: float = 1.0
     seed: int = 0
     full_hardware: bool = False
+    volumes: int = FULL_HARDWARE_VOLUMES
+    placement: str = "hash"
+
+    def with_array(
+        self, volumes: int = FULL_HARDWARE_VOLUMES, placement: str = "hash"
+    ) -> "DelayedWriteExperiment":
+        """This experiment on the paper's ten-disk array (fluent API)."""
+        return replace(self, full_hardware=True, volumes=volumes, placement=placement)
 
     def config(self) -> SimulationConfig:
         return experiment_config(
@@ -80,7 +105,13 @@ class DelayedWriteExperiment:
             memory_scale=self.memory_scale,
             seed=self.seed,
             full_hardware=self.full_hardware,
+            volumes=self.volumes,
+            placement=self.placement,
         )
+
+    def spec(self) -> StackSpec:
+        """The world-independent stack this experiment runs on."""
+        return StackSpec.from_config(self.config())
 
     def trace(self) -> list[TraceRecord]:
         return sprite_like_trace(self.trace_name, scale=self.trace_scale, seed=self.seed)
@@ -97,14 +128,33 @@ def experiment_config(
     memory_scale: float = DEFAULT_MEMORY_SCALE,
     seed: int = 0,
     full_hardware: bool = False,
+    volumes: int = FULL_HARDWARE_VOLUMES,
+    placement: str = "hash",
 ) -> SimulationConfig:
-    """The simulator configuration for one of the Section 5.1 policies."""
+    """The simulator configuration for one of the Section 5.1 policies.
+
+    With ``full_hardware=True`` the stack is the ``sun4_280`` storage
+    array — the Figure 2–5 benchmarks on the paper's real ten-disk,
+    three-bus complement (the ROADMAP "array-aware experiments" item).
+    """
     if policy_name not in EXPERIMENT_POLICIES:
         raise ConfigurationError(
             f"unknown experiment policy {policy_name!r}; "
             f"known policies: {sorted(EXPERIMENT_POLICIES)}"
         )
-    base = sprite_server_config(scale=memory_scale, seed=seed)
+    if not full_hardware and (volumes != FULL_HARDWARE_VOLUMES or placement != "hash"):
+        # The array shape only exists on the full-hardware stack; ignoring
+        # these silently would report single-disk runs as array results.
+        raise ConfigurationError(
+            "volumes/placement only apply with full_hardware=True "
+            "(use DelayedWriteExperiment.with_array(...) for the fluent form)"
+        )
+    if full_hardware:
+        base = sun4_280_config(
+            scale=memory_scale, seed=seed, volumes=volumes, placement=placement
+        )
+    else:
+        base = sprite_server_config(scale=memory_scale, seed=seed)
     flush = EXPERIMENT_POLICIES[policy_name]
     # Keep the scaled NVRAM size from the base configuration.
     flush = FlushConfig(
@@ -135,6 +185,8 @@ def run_delayed_write_experiment(
     trace_scale: float = 1.0,
     seed: int = 0,
     full_hardware: bool = False,
+    volumes: int = FULL_HARDWARE_VOLUMES,
+    placement: str = "hash",
 ) -> SimulationResult:
     """Run one (trace, policy) cell of the evaluation."""
     experiment = DelayedWriteExperiment(
@@ -144,6 +196,8 @@ def run_delayed_write_experiment(
         trace_scale=trace_scale,
         seed=seed,
         full_hardware=full_hardware,
+        volumes=volumes,
+        placement=placement,
     )
     return experiment.run()
 
@@ -155,6 +209,8 @@ def run_policy_comparison(
     trace_scale: float = 1.0,
     seed: int = 0,
     full_hardware: bool = False,
+    volumes: int = FULL_HARDWARE_VOLUMES,
+    placement: str = "hash",
 ) -> Dict[str, SimulationResult]:
     """Replay one trace under several policies (one Figure 2-4 panel)."""
     chosen = list(policies) if policies is not None else list(EXPERIMENT_POLICIES)
@@ -167,6 +223,8 @@ def run_policy_comparison(
             trace_scale=trace_scale,
             seed=seed,
             full_hardware=full_hardware,
+            volumes=volumes,
+            placement=placement,
         )
     return results
 

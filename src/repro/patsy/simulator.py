@@ -12,7 +12,7 @@ simulation time and of the overall simulation").
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Any,
@@ -27,30 +27,13 @@ from typing import (
     Union,
 )
 
+from repro.assembly.bindings import SimulatedBinding
+from repro.assembly.builder import StorageStack, build_stack
+from repro.assembly.spec import StackSpec
 from repro.config import SimulationConfig, small_test_config
-from repro.core.cache import BlockCache
-from repro.core.client import AbstractClientInterface
-from repro.core.clock import VirtualClock
-from repro.core.datamover import DataMover
-from repro.core.filesystem import FileSystem
-from repro.core.flush import ShardedFlushPolicy, make_flush_policy
-from repro.core.iosched import make_io_scheduler
-from repro.core.scheduler import Scheduler
-from repro.core.storage.array import (
-    RoutedLayout,
-    ShardedCache,
-    VolumeSet,
-    make_placement_policy,
-)
-from repro.core.storage.cleaner import CleanerDaemon, CleanerSet, make_cleaner
-from repro.core.storage.ffs import FfsLikeLayout
-from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
-from repro.errors import FileSystemError, TraceError
-from repro.patsy.bus import ScsiBus
-from repro.patsy.diskspec import disk_spec_by_name
-from repro.patsy.simdisk import SimulatedDisk
-from repro.patsy.simdriver import SimulatedDiskDriver
+from repro.core.flush import ShardedFlushPolicy
+from repro.core.storage.array import RoutedLayout, ShardedCache
+from repro.errors import ConfigurationError, FileSystemError, TraceError
 from repro.patsy.stats import DEFAULT_PLUGINS, LatencyRecorder, StatisticsPlugin
 from repro.patsy.traces import (
     TraceRecord,
@@ -66,11 +49,6 @@ __all__ = ["PatsySimulator", "SimulationResult", "TraceSource"]
 #: path to an on-disk trace, an open text stream, or any record iterator
 #: (e.g. ``iter_sprite_trace(...)``).
 TraceSource = Union[Sequence[TraceRecord], str, Path, Iterable[TraceRecord]]
-
-
-def _route_to_shard_zero(file_id: int, block_no: int) -> int:
-    """Cache router for the "unified" shard policy: one cache, N volumes."""
-    return 0
 
 
 class _TraceDemux:
@@ -227,139 +205,55 @@ class SimulationResult:
 
 
 class PatsySimulator:
-    """A complete off-line file-system simulator instantiated from the library."""
+    """A complete off-line file-system simulator instantiated from the library.
+
+    The whole storage stack — simulated hardware, cache (shards), layout(s),
+    flush policy, cleaner(s) — is assembled by
+    :func:`repro.assembly.builder.build_stack` from the
+    :class:`~repro.assembly.spec.StackSpec` derived from ``config``, under a
+    :class:`~repro.assembly.bindings.SimulatedBinding`.  The simulator owns
+    only what is specific to its world: trace replay and measurement.
+    """
 
     def __init__(
         self,
         config: Optional[SimulationConfig] = None,
         plugins: Optional[Iterable[type]] = None,
+        stack: Optional[StorageStack] = None,
     ):
+        if stack is not None and config is None:
+            # A pre-built stack carries its own spec; derive the run config
+            # from it instead of silently mixing in unrelated defaults.
+            config = stack.spec.to_config()
         self.config = config if config is not None else small_test_config()
         cfg = self.config
-        self.scheduler = Scheduler(clock=VirtualClock(), seed=cfg.seed)
-
-        # --- simulated hardware: buses, disks, drivers ------------------------
-        # The array config, when present, owns the hardware complement (the
-        # Sun 4/280's ten-disks-on-three-buses); the host config keeps
-        # supplying the per-device parameters either way.
-        host = cfg.host
-        array = cfg.array
-        num_disks = array.total_disks if array is not None else host.num_disks
-        num_buses = array.buses if array is not None else host.num_buses
-        bus_for_disk = array.bus_for_disk if array is not None else host.bus_for_disk
-        spec = disk_spec_by_name(host.disk_model)
-        self.buses: List[ScsiBus] = [
-            ScsiBus(
-                self.scheduler,
-                name=f"scsi{i}",
-                bandwidth=host.bus_bandwidth,
-                arbitration_overhead=host.bus_overhead,
+        if stack is None:
+            stack = build_stack(StackSpec.from_config(cfg), SimulatedBinding())
+        elif not stack.binding.simulated:
+            raise ConfigurationError(
+                "PatsySimulator needs a stack built under a simulated "
+                "binding; this one moves real bytes (use PegasusFileSystem)"
             )
-            for i in range(num_buses)
-        ]
-        self.disks: List[SimulatedDisk] = []
-        self.drivers: List[SimulatedDiskDriver] = []
-        for index in range(num_disks):
-            bus = self.buses[bus_for_disk(index)]
-            disk = SimulatedDisk(self.scheduler, spec, bus, name=f"disk{index}")
-            driver = SimulatedDiskDriver(
-                self.scheduler,
-                disk,
-                bus,
-                name=f"sim-disk{index}",
-                io_scheduler=make_io_scheduler(host.io_scheduler),
+        elif StackSpec.from_config(cfg) != stack.spec:
+            raise ConfigurationError(
+                "the supplied stack was built from a different spec than "
+                "`config` describes; pass a matching config or let the "
+                "simulator derive one from the stack"
             )
-            self.disks.append(disk)
-            self.drivers.append(driver)
-
-        # --- file-system components from the cut-and-paste library --------------
-        self.placement = None
-        self.cleaner = None
-        if array is None:
-            self.volume = Volume(self.drivers, block_size=cfg.cache.block_size)
-            self.layout = self._build_layout_for(self.volume, cfg.seed)
-            self.cache = BlockCache(self.scheduler, cfg.cache, with_data=False)
-            self.datamover = DataMover(charge_time=True, bandwidth=host.memory_copy_bandwidth)
-            self.flush_policy = make_flush_policy(cfg.flush)
-            if isinstance(self.layout, LogStructuredLayout):
-                self.cleaner = CleanerDaemon(
-                    self.scheduler,
-                    self.layout,
-                    make_cleaner(cfg.layout.cleaner_policy, cfg.layout.cleaner_age_scale),
-                    low_water=cfg.layout.cleaner_low_water,
-                    high_water=cfg.layout.cleaner_high_water,
-                )
-        else:
-            self.placement = make_placement_policy(
-                array.placement, array.volumes, stripe_unit=array.stripe_unit_blocks
-            )
-            volumes = [
-                Volume(
-                    [self.drivers[i] for i in array.disks_of_volume(v)],
-                    block_size=cfg.cache.block_size,
-                )
-                for v in range(array.volumes)
-            ]
-            self.volume = VolumeSet(volumes)
-            sublayouts = [
-                self._build_layout_for(
-                    volumes[v], cfg.seed + v, inode_base=v, inode_stride=array.volumes
-                )
-                for v in range(array.volumes)
-            ]
-            self.layout = RoutedLayout(
-                self.scheduler,
-                self.volume,
-                sublayouts,
-                self.placement,
-                block_size=cfg.cache.block_size,
-                seed=cfg.seed,
-            )
-            if array.shard == "per-volume":
-                shard_config = replace(
-                    cfg.cache,
-                    size_bytes=max(
-                        cfg.cache.size_bytes // array.volumes, cfg.cache.block_size
-                    ),
-                )
-                shards = [
-                    BlockCache(self.scheduler, shard_config, with_data=False)
-                    for _ in range(array.volumes)
-                ]
-                router = self.placement.volume_for_block
-            else:  # "unified": one cache over all volumes
-                shards = [BlockCache(self.scheduler, cfg.cache, with_data=False)]
-                router = _route_to_shard_zero
-            self.cache = ShardedCache(shards, router)
-            self.datamover = DataMover(charge_time=True, bandwidth=host.memory_copy_bandwidth)
-            self.flush_policy = ShardedFlushPolicy(
-                cfg.flush,
-                high_water=array.governor_high_water,
-                low_water=array.governor_low_water,
-                check_interval=array.governor_interval,
-            )
-            lfs_daemons = [
-                CleanerDaemon(
-                    self.scheduler,
-                    sub,
-                    make_cleaner(cfg.layout.cleaner_policy, cfg.layout.cleaner_age_scale),
-                    low_water=cfg.layout.cleaner_low_water,
-                    high_water=cfg.layout.cleaner_high_water,
-                )
-                for sub in sublayouts
-                if isinstance(sub, LogStructuredLayout)
-            ]
-            if lfs_daemons:
-                self.cleaner = CleanerSet(lfs_daemons)
-        self.fs = FileSystem(
-            self.scheduler,
-            self.cache,
-            self.layout,
-            self.datamover,
-            flush_policy=self.flush_policy,
-            cleaner=self.cleaner,
-        )
-        self.client = AbstractClientInterface(self.fs, auto_materialize=True)
+        self.stack = stack
+        self.scheduler = stack.scheduler
+        self.buses = stack.buses
+        self.disks = stack.disks
+        self.drivers = stack.drivers
+        self.volume = stack.volume
+        self.layout = stack.layout
+        self.cache = stack.cache
+        self.datamover = stack.datamover
+        self.flush_policy = stack.flush_policy
+        self.cleaner = stack.cleaner
+        self.placement = stack.placement
+        self.fs = stack.fs
+        self.client = stack.client
 
         # --- measurement -----------------------------------------------------------
         self.latency = LatencyRecorder(report_interval=cfg.report_interval)
@@ -368,35 +262,15 @@ class PatsySimulator:
         self._mounted = False
         self._stream_stats: Dict[str, Any] = {}
 
-    # ------------------------------------------------------------------ construction helpers
-
-    def _build_layout_for(
-        self, volume: Volume, seed: int, inode_base: int = 0, inode_stride: int = 1
-    ):
-        """One storage layout over one volume (a whole single-volume system,
-        or member ``inode_base`` of an ``inode_stride``-volume array)."""
-        cfg = self.config
-        if cfg.layout.kind == "lfs":
-            return LogStructuredLayout(
-                self.scheduler,
-                volume,
-                block_size=cfg.cache.block_size,
-                segment_blocks=max(cfg.layout.segment_size // cfg.cache.block_size, 4),
-                simulated=True,
-                seed=seed,
-            )
-        return FfsLikeLayout(
-            self.scheduler,
-            volume,
-            block_size=cfg.cache.block_size,
-            simulated=True,
-            seed=seed,
-            # FFS maps inode numbers to table slots; a member of an array
-            # serves only its own arithmetic progression of numbers, so the
-            # stride keeps its slot usage dense (full table capacity).
-            inode_base=inode_base,
-            inode_stride=inode_stride,
-        )
+    @classmethod
+    def from_spec(
+        cls,
+        spec: StackSpec,
+        plugins: Optional[Iterable[type]] = None,
+        **config_overrides: Any,
+    ) -> "PatsySimulator":
+        """A simulator running ``spec`` (run-scoped knobs via overrides)."""
+        return cls(spec.to_config(**config_overrides), plugins=plugins)
 
     # ------------------------------------------------------------------ lifecycle
 

@@ -18,21 +18,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Callable, Dict, Generator, Optional, Union
 
-from repro.config import CacheConfig, FlushConfig, LayoutConfig
-from repro.core.cache import BlockCache
-from repro.core.client import AbstractClientInterface
-from repro.core.clock import RealClock, VirtualClock
-from repro.core.datamover import DataMover
-from repro.core.filesystem import FileSystem
-from repro.core.flush import make_flush_policy
-from repro.core.inode import FileKind
-from repro.core.iosched import make_io_scheduler
-from repro.core.scheduler import Scheduler
-from repro.core.storage.cleaner import CleanerDaemon, make_cleaner
-from repro.core.storage.ffs import FfsLikeLayout
-from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
-from repro.pfs.diskfile import FileBackedDiskDriver, MemoryBackedDiskDriver
+from repro.assembly.bindings import OnlineBinding
+from repro.assembly.builder import StorageStack, build_stack
+from repro.assembly.spec import StackSpec
+from repro.config import ArrayConfig, CacheConfig, FlushConfig, HostConfig, LayoutConfig
+from repro.core.storage.array import RoutedLayout
+from repro.errors import ConfigurationError
 from repro.units import MB
 
 __all__ = ["PegasusFileSystem"]
@@ -41,15 +32,28 @@ __all__ = ["PegasusFileSystem"]
 class PegasusFileSystem:
     """An on-line file system storing real data.
 
+    The stack is assembled by :func:`repro.assembly.builder.build_stack`
+    from a :class:`~repro.assembly.spec.StackSpec` under an
+    :class:`~repro.assembly.bindings.OnlineBinding` — the *same* builder,
+    spec and component classes that PATSY simulates, bound to drivers that
+    move real bytes.  That includes multi-volume array specs: a PFS can
+    mount the ``sun4_280`` five-volume stack with per-shard caches and
+    flush daemons, exactly as the simulator runs it.
+
     Parameters
     ----------
     backing:
-        ``None`` for an in-memory disk, or a path to the Unix file used as
-        the disk back-end.
+        ``None`` for in-memory disks, or a path to the Unix file used as
+        the disk back-end (a single-disk spec uses the bare path; every
+        disk ``i`` of a multi-disk spec lands in ``<backing>.d<i>``).
     size_bytes:
-        Capacity of the backing store.
-    cache, flush, layout:
-        Component configurations (framework defaults when omitted).
+        Capacity of the backing store, split over the spec's disks.
+    cache, flush, layout, array, io_scheduler, seed:
+        Legacy piecewise configuration (framework defaults when omitted);
+        kept as a thin shim that builds the equivalent ``spec``.
+    spec:
+        The full stack description.  When given it wins over the piecewise
+        keywords above.
     real_time:
         Use wall-clock time instead of virtual time.  Virtual time is the
         default: the same code runs, but tests and examples finish instantly.
@@ -65,71 +69,61 @@ class PegasusFileSystem:
         real_time: bool = False,
         io_scheduler: str = "clook",
         seed: int = 0,
+        array: Optional[ArrayConfig] = None,
+        spec: Optional[StackSpec] = None,
     ):
-        self.cache_config = cache if cache is not None else CacheConfig(size_bytes=2 * MB)
-        self.flush_config = flush if flush is not None else FlushConfig(policy="periodic")
-        self.layout_config = layout if layout is not None else LayoutConfig()
-        clock = RealClock() if real_time else VirtualClock()
-        self.scheduler = Scheduler(clock=clock, seed=seed)
-
-        if backing is None:
-            self.driver = MemoryBackedDiskDriver(
-                self.scheduler, size_bytes=size_bytes, io_scheduler=make_io_scheduler(io_scheduler)
-            )
-        else:
-            self.driver = FileBackedDiskDriver(
-                self.scheduler,
-                backing,
-                size_bytes=size_bytes,
-                io_scheduler=make_io_scheduler(io_scheduler),
-            )
-        self.volume = Volume([self.driver], block_size=self.cache_config.block_size)
-        self.layout = self._build_layout(seed)
-        self.cache = BlockCache(self.scheduler, self.cache_config, with_data=True)
-        self.datamover = DataMover(charge_time=False)
-        self.flush_policy = make_flush_policy(self.flush_config)
-        cleaner = None
-        if isinstance(self.layout, LogStructuredLayout):
-            cleaner = CleanerDaemon(
-                self.scheduler,
-                self.layout,
-                make_cleaner(
-                    self.layout_config.cleaner_policy,
-                    self.layout_config.cleaner_age_scale,
-                ),
-                low_water=self.layout_config.cleaner_low_water,
-                high_water=self.layout_config.cleaner_high_water,
-            )
-        self.fs = FileSystem(
-            self.scheduler,
-            self.cache,
-            self.layout,
-            self.datamover,
-            flush_policy=self.flush_policy,
-            cleaner=cleaner,
-        )
-        self.client = AbstractClientInterface(self.fs, auto_materialize=False)
-        self._mounted = False
-
-    def _build_layout(self, seed: int):
-        if self.layout_config.kind == "lfs":
-            return LogStructuredLayout(
-                self.scheduler,
-                self.volume,
-                block_size=self.cache_config.block_size,
-                segment_blocks=max(
-                    self.layout_config.segment_size // self.cache_config.block_size, 4
-                ),
-                simulated=False,
+        if spec is None:
+            spec = StackSpec(
+                cache=cache if cache is not None else CacheConfig(size_bytes=2 * MB),
+                flush=flush if flush is not None else FlushConfig(policy="periodic"),
+                layout=layout if layout is not None else LayoutConfig(),
+                host=HostConfig(io_scheduler=io_scheduler),
+                array=array,
                 seed=seed,
             )
-        return FfsLikeLayout(
-            self.scheduler,
-            self.volume,
-            block_size=self.cache_config.block_size,
-            simulated=False,
-            seed=seed,
-        )
+        elif (
+            any(piece is not None for piece in (cache, flush, layout, array))
+            or io_scheduler != "clook"
+            or seed != 0
+        ):
+            raise ConfigurationError(
+                "pass either a full `spec` or the piecewise "
+                "cache/flush/layout/array/io_scheduler/seed keywords, not both"
+            )
+        self.spec = spec
+        # Deprecation shims: the sub-configs used to be stored piecewise.
+        self.cache_config = spec.cache
+        self.flush_config = spec.flush
+        self.layout_config = spec.layout
+
+        binding = OnlineBinding(backing=backing, size_bytes=size_bytes, real_time=real_time)
+        stack = build_stack(spec, binding)
+        self.stack = stack
+        self.scheduler = stack.scheduler
+        self.drivers = stack.drivers
+        #: deprecation shim: the first (often only) disk driver.
+        self.driver = stack.drivers[0]
+        self.volume = stack.volume
+        self.layout = stack.layout
+        self.cache = stack.cache
+        self.datamover = stack.datamover
+        self.flush_policy = stack.flush_policy
+        self.cleaner = stack.cleaner
+        self.placement = stack.placement
+        self.fs = stack.fs
+        self.client = stack.client
+        self._mounted = False
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: StackSpec,
+        backing: Optional[Union[str, Path]] = None,
+        size_bytes: int = 64 * MB,
+        real_time: bool = False,
+    ) -> "PegasusFileSystem":
+        """A PFS running ``spec`` — the same object a simulator replays."""
+        return cls(backing=backing, size_bytes=size_bytes, real_time=real_time, spec=spec)
 
     # ------------------------------------------------------------------ scheduler plumbing
 
@@ -250,28 +244,45 @@ class PegasusFileSystem:
 
     def statistics(self) -> Dict[str, Any]:
         """Cache, layout and driver statistics for monitoring."""
-        return {
-            "cache": self.cache.stats.snapshot(),
-            "layout": {
+        if isinstance(self.layout, RoutedLayout):
+            combined = self.layout.combined_stats()
+            layout_stats = {
+                "disk_reads": combined.get("disk_reads", 0),
+                "disk_writes": combined.get("disk_writes", 0),
+                "blocks_written": combined.get("blocks_written", 0),
+                "free_blocks": self.layout.free_blocks,
+            }
+        else:
+            layout_stats = {
                 "disk_reads": self.layout.stats.disk_reads,
                 "disk_writes": self.layout.stats.disk_writes,
                 "blocks_written": self.layout.stats.blocks_written,
                 "free_blocks": self.layout.free_blocks,
-            },
+            }
+        stats: Dict[str, Any] = {
+            "cache": self.cache.stats.snapshot(),
+            "layout": layout_stats,
             "driver": {
-                "reads": self.driver.stats.reads,
-                "writes": self.driver.stats.writes,
-                "mean_queue_length": self.driver.stats.mean_queue_length(),
+                "reads": sum(d.stats.reads for d in self.drivers),
+                "writes": sum(d.stats.writes for d in self.drivers),
+                "mean_queue_length": (
+                    sum(d.stats.mean_queue_length() for d in self.drivers)
+                    / len(self.drivers)
+                ),
             },
             "open_files": self.fs.file_table.open_count,
             "loaded_files": self.fs.file_table.loaded_count,
         }
+        if self.spec.array is not None:
+            stats["volumes"] = self.spec.array.volumes
+        return stats
 
     def close_backing(self) -> None:
-        """Release the backing file (file-backed instances only)."""
-        close = getattr(self.driver, "close", None)
-        if callable(close):
-            close()
+        """Release the backing files (file-backed instances only)."""
+        for driver in self.drivers:
+            close = getattr(driver, "close", None)
+            if callable(close):
+                close()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,358 @@
+"""The assembly layer: registry, StackSpec, bindings and build_stack.
+
+The tentpole contracts: a spec round-trips through dict form, one spec
+builds either world through the same builder, third-party policies plug in
+through the registry without editing core modules, and a PFS can mount a
+multi-volume array spec and move real bytes through it.
+"""
+
+import pytest
+
+from repro.assembly import (
+    OnlineBinding,
+    SimulatedBinding,
+    StackSpec,
+    build_stack,
+    registry,
+)
+from repro.assembly.registry import ComponentRegistry
+from repro.config import (
+    ArrayConfig,
+    CacheConfig,
+    FlushConfig,
+    HostConfig,
+    LayoutConfig,
+    SimulationConfig,
+    small_test_config,
+    sun4_280_config,
+)
+from repro.core.cache import BlockCache
+from repro.core.flush import FlushPolicy, ShardedFlushPolicy, make_flush_policy
+from repro.core.storage.array import RoutedLayout, ShardedCache, VolumeSet
+from repro.core.storage.cleaner import CleanerSet
+from repro.core.storage.lfs import LogStructuredLayout
+from repro.errors import ConfigurationError
+from repro.patsy.experiments import DelayedWriteExperiment, experiment_config
+from repro.patsy.simulator import PatsySimulator
+from repro.pfs.filesystem import PegasusFileSystem
+from repro.units import KB, MB
+
+
+# --------------------------------------------------------------------------- registry
+
+
+def test_registry_register_create_and_introspection():
+    reg = ComponentRegistry()
+    reg.register("flush", "noop", lambda config: ("noop", config))
+    assert reg.has("flush", "noop")
+    assert reg.names("flush") == ["noop"]
+    assert "flush" in reg.kinds()
+    kind, config = reg.create("flush", "noop", 42)
+    assert (kind, config) == ("noop", 42)
+
+
+def test_registry_rejects_duplicates_unless_replacing():
+    reg = ComponentRegistry()
+    reg.register("cleaner", "x", lambda: 1)
+    with pytest.raises(ConfigurationError):
+        reg.register("cleaner", "x", lambda: 2)
+    reg.register("cleaner", "x", lambda: 2, replace=True)
+    assert reg.create("cleaner", "x") == 2
+    reg.unregister("cleaner", "x")
+    assert not reg.has("cleaner", "x")
+    with pytest.raises(ConfigurationError):
+        reg.unregister("cleaner", "x")
+
+
+def test_registry_unknown_component_raises():
+    reg = ComponentRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.create("flush", "never-registered")
+    with pytest.raises(ConfigurationError):
+        reg.register("flush", "not-callable", 42)
+
+
+def test_builtin_policies_are_registered():
+    # Importing the core modules populated the process-wide registry.
+    assert registry.has("flush", "periodic")
+    assert registry.has("iosched", "clook")
+    assert registry.has("cleaner", "cost-benefit")
+    assert registry.has("placement", "stripe")
+    assert registry.has("replacement", "arc")
+    assert registry.has("layout", "lfs") and registry.has("layout", "ffs")
+
+
+def test_third_party_flush_policy_plugs_in_without_editing_core():
+    class EagerFlushPolicy(FlushPolicy):
+        name = "eager-test"
+
+    registry.register("flush", "eager-test", EagerFlushPolicy)
+    try:
+        # Config validation consults the registry for non-builtin names...
+        config = FlushConfig(policy="eager-test")
+        # ...and the factory instantiates the third-party class.
+        policy = make_flush_policy(config)
+        assert isinstance(policy, EagerFlushPolicy)
+    finally:
+        registry.unregister("flush", "eager-test")
+    with pytest.raises(ConfigurationError):
+        FlushConfig(policy="eager-test")  # gone again
+
+
+# --------------------------------------------------------------------------- spec
+
+
+def small_spec(**overrides):
+    base = StackSpec(
+        cache=CacheConfig(size_bytes=64 * 4 * KB),
+        flush=FlushConfig(policy="periodic", nvram_bytes=8 * 4 * KB),
+        layout=LayoutConfig(segment_size=16 * 4 * KB),
+        host=HostConfig(num_disks=1, num_buses=1),
+        seed=3,
+    )
+    from dataclasses import replace
+
+    return replace(base, **overrides)
+
+
+def test_stack_spec_round_trips_through_dict():
+    for spec in (
+        small_spec(),
+        small_spec(array=ArrayConfig(volumes=3, buses=1, disks_per_bus=3)),
+        StackSpec.from_config(sun4_280_config(scale=0.002)),
+    ):
+        data = spec.to_dict()
+        assert StackSpec.from_dict(data) == spec
+        # And the dict is plain (JSON-safe) all the way down.
+        import json
+
+        assert StackSpec.from_dict(json.loads(json.dumps(data))) == spec
+
+
+def test_stack_spec_from_dict_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError):
+        StackSpec.from_dict({"cace": {}})
+    with pytest.raises(ConfigurationError):
+        StackSpec.from_dict({"cache": {"size_byte": 1}})
+    with pytest.raises(ConfigurationError):
+        StackSpec.from_dict({"cache": 42})
+
+
+def test_stack_spec_config_round_trip():
+    config = small_test_config(seed=11)
+    spec = StackSpec.from_config(config)
+    assert spec.seed == 11
+    again = spec.to_config(report_interval=config.report_interval)
+    assert again == config
+
+
+def test_stack_spec_shape_helpers():
+    spec = small_spec(array=ArrayConfig(volumes=2, buses=1, disks_per_bus=2))
+    assert spec.num_volumes == 2
+    assert spec.num_disks == 2
+    assert list(spec.disks_of_volume(1)) == [1]
+    single = small_spec()
+    assert single.num_volumes == 1
+    assert list(single.disks_of_volume(0)) == [0]
+    with pytest.raises(ConfigurationError):
+        single.disks_of_volume(1)
+
+
+# --------------------------------------------------------------------------- build_stack
+
+
+def test_build_stack_single_volume_both_worlds():
+    spec = small_spec()
+    sim = build_stack(spec, SimulatedBinding())
+    online = build_stack(spec, OnlineBinding(size_bytes=16 * MB))
+    # Same component classes either side of the cut-and-paste line...
+    assert type(sim.cache) is type(online.cache) is BlockCache
+    assert type(sim.flush_policy) is type(online.flush_policy)
+    assert type(sim.layout) is type(online.layout) is LogStructuredLayout
+    assert type(sim.cleaner) is type(online.cleaner)
+    # ...with only the helpers differing.
+    assert sim.cache.with_data is False and online.cache.with_data is True
+    assert sim.buses and not online.buses
+    assert len(sim.drivers) == len(online.drivers) == 1
+
+
+def test_build_stack_array_builds_sharded_components():
+    spec = small_spec(array=ArrayConfig(volumes=3, buses=2, disks_per_bus=2))
+    stack = build_stack(spec, SimulatedBinding())
+    assert isinstance(stack.cache, ShardedCache) and len(stack.cache.shards) == 3
+    assert isinstance(stack.layout, RoutedLayout)
+    assert isinstance(stack.volume, VolumeSet) and len(stack.volume) == 3
+    assert isinstance(stack.flush_policy, ShardedFlushPolicy)
+    assert isinstance(stack.cleaner, CleanerSet) and len(stack.cleaner) == 3
+    assert stack.placement is not None and stack.placement.name == "hash"
+    assert len(stack.drivers) == 4 and len(stack.buses) == 2
+
+
+def test_simulator_with_prebuilt_stack_derives_its_config():
+    spec = small_spec(array=ArrayConfig(volumes=2, buses=1, disks_per_bus=2))
+    stack = build_stack(spec, SimulatedBinding())
+    simulator = PatsySimulator(stack=stack)
+    # The run config comes from the stack's spec, not small_test_config().
+    assert StackSpec.from_config(simulator.config) == spec
+    assert simulator.cache is stack.cache
+    # A config describing a *different* stack is rejected, not blended.
+    with pytest.raises(ConfigurationError):
+        PatsySimulator(config=small_test_config(), stack=stack)
+    # As is a stack built for the wrong world.
+    online = build_stack(spec, OnlineBinding(size_bytes=16 * MB))
+    with pytest.raises(ConfigurationError):
+        PatsySimulator(stack=online)
+
+
+def test_pfs_rejects_spec_plus_piecewise_keywords():
+    spec = small_spec()
+    with pytest.raises(ConfigurationError):
+        PegasusFileSystem(spec=spec, cache=CacheConfig(size_bytes=1 * MB))
+    with pytest.raises(ConfigurationError):
+        PegasusFileSystem(spec=spec, seed=9)
+    # The spec-only and piecewise-only forms both still work.
+    assert PegasusFileSystem(spec=spec).spec is spec
+    assert PegasusFileSystem(seed=9).spec.seed == 9
+
+
+def test_third_party_replacement_class_registers_directly():
+    from repro.core.replacement import LruPolicy, make_replacement_policy
+
+    class MruLikePolicy(LruPolicy):
+        name = "mru-test"
+
+    # The registry docstring's pattern: register the class itself.  The
+    # factory must only forward the knobs the signature accepts.
+    registry.register("replacement", "mru-test", MruLikePolicy)
+    try:
+        policy = make_replacement_policy("mru-test", 16)
+        assert isinstance(policy, MruLikePolicy)
+        cache_config = CacheConfig(size_bytes=16 * 4 * KB, replacement="mru-test")
+        spec = small_spec(cache=cache_config)
+        stack = build_stack(spec, SimulatedBinding())
+        assert isinstance(stack.cache.policy, MruLikePolicy)
+    finally:
+        registry.unregister("replacement", "mru-test")
+
+
+def test_simulator_from_spec_replays():
+    spec = small_spec()
+    simulator = PatsySimulator.from_spec(spec, report_interval=60.0)
+    assert simulator.config.seed == spec.seed
+    from repro.patsy.traces import TraceRecord
+
+    result = simulator.replay(
+        [TraceRecord(0.1, 0, "write", "/f", offset=0, size=8 * KB)], trace_name="spec"
+    )
+    assert result.errors == 0 and result.operations == 1
+
+
+# --------------------------------------------------------------------------- PFS on an array
+
+
+def array_spec(volumes=3):
+    return StackSpec(
+        cache=CacheConfig(size_bytes=192 * 4 * KB),
+        flush=FlushConfig(policy="periodic", nvram_bytes=16 * 4 * KB),
+        layout=LayoutConfig(segment_size=16 * 4 * KB),
+        host=HostConfig(num_disks=1, num_buses=1),
+        array=ArrayConfig(volumes=volumes, buses=1, disks_per_bus=volumes),
+        seed=5,
+    )
+
+
+def test_pfs_mounts_a_multi_volume_array_spec():
+    """The acceptance contract: the on-line world gains the array stack."""
+    pfs = PegasusFileSystem(spec=array_spec(volumes=3), size_bytes=24 * MB)
+    assert isinstance(pfs.cache, ShardedCache) and len(pfs.cache.shards) == 3
+    assert isinstance(pfs.layout, RoutedLayout)
+    assert len(pfs.drivers) == 3
+    pfs.format()
+
+    # Enough files to land on more than one volume under hash placement.
+    pfs.mkdir("/data")
+    payloads = {}
+    for i in range(12):
+        payload = bytes([i]) * (3000 + 251 * i)
+        path = f"/data/file{i}.bin"
+        payloads[path] = payload
+        pfs.write_file(path, payload)
+
+    # read/write/fsync round-trip through the handle interface.
+    handle = pfs.open("/data/file3.bin")
+    assert pfs.read(handle, 0, 10) == payloads["/data/file3.bin"][:10]
+    pfs.write(handle, 0, b"PATCHED!")
+    pfs.fsync(handle)
+    pfs.close(handle)
+    payloads["/data/file3.bin"] = (
+        b"PATCHED!" + payloads["/data/file3.bin"][8:]
+    )
+
+    for path, payload in payloads.items():
+        assert pfs.read_file(path) == payload, path
+    assert sorted(pfs.listdir("/data")) == sorted(payloads_to_names(payloads))
+
+    # The data really spread: more than one sub-layout wrote blocks.
+    busy = sum(1 for sub in pfs.layout.sublayouts if sub.stats.blocks_written > 0)
+    assert busy >= 2
+    stats = pfs.statistics()
+    assert stats["volumes"] == 3
+    assert stats["layout"]["blocks_written"] > 0
+    pfs.unmount()
+
+
+def payloads_to_names(payloads):
+    return [path.rsplit("/", 1)[1] for path in payloads]
+
+
+def test_pfs_sun4_280_spec_mounts():
+    """One spec, both worlds: the paper machine's stack mounts on-line."""
+    spec = StackSpec.from_config(sun4_280_config(scale=0.002, seed=1))
+    pfs = PegasusFileSystem.from_spec(spec, size_bytes=40 * MB)
+    assert len(pfs.cache.shards) == 5 and len(pfs.drivers) == 10
+    pfs.format()
+    pfs.write_file("/hello.txt", b"ten disks, three buses, five volumes")
+    assert pfs.read_file("/hello.txt") == b"ten disks, three buses, five volumes"
+    pfs.unmount()
+
+
+# --------------------------------------------------------------------------- experiments
+
+
+def test_full_hardware_experiment_runs_on_the_sun4_280_array():
+    config = experiment_config("ups", memory_scale=0.01, full_hardware=True)
+    assert config.array is not None
+    assert config.array.total_disks == 10 and config.array.buses == 3
+    assert config.array.volumes == 5
+    assert config.flush.policy == "ups"
+    # Default runs stay on the fast single-disk complement.
+    assert experiment_config("ups", memory_scale=0.01).array is None
+
+
+def test_array_knobs_without_full_hardware_fail_loudly():
+    with pytest.raises(ConfigurationError):
+        experiment_config("ups", memory_scale=0.01, volumes=2)
+    with pytest.raises(ConfigurationError):
+        experiment_config("ups", memory_scale=0.01, placement="stripe")
+
+
+def test_with_array_fluent_api():
+    experiment = DelayedWriteExperiment("1a", "write-delay", memory_scale=0.01)
+    arrayed = experiment.with_array(volumes=2, placement="stripe")
+    assert not experiment.full_hardware and arrayed.full_hardware
+    config = arrayed.config()
+    assert config.array is not None and config.array.volumes == 2
+    assert config.array.placement == "stripe"
+    spec = arrayed.spec()
+    assert spec.array == config.array
+
+
+def test_full_hardware_figure_benchmark_replays_on_the_array():
+    """The ROADMAP item: a Figure 2-5 cell on the paper's disk complement."""
+    experiment = DelayedWriteExperiment(
+        "1a", "write-delay", memory_scale=0.01, trace_scale=0.05
+    ).with_array()
+    result = experiment.run()
+    assert result.errors == 0
+    assert result.volume_stats  # the run really went through the array
+    assert len(result.volume_stats["per_volume"]) == 5

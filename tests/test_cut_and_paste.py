@@ -10,10 +10,18 @@ data was actually moved".
 
 import pytest
 
-from repro.config import CacheConfig, FlushConfig, small_test_config
+from repro.assembly import OnlineBinding, SimulatedBinding, StackSpec, build_stack
+from repro.config import ArrayConfig, CacheConfig, FlushConfig, small_test_config
 from repro.core.cache import BlockCache
 from repro.core.client import AbstractClientInterface
-from repro.core.flush import NvramPolicy, PeriodicUpdatePolicy, make_flush_policy
+from repro.core.flush import (
+    NvramPolicy,
+    PeriodicUpdatePolicy,
+    ShardedFlushPolicy,
+    make_flush_policy,
+)
+from repro.core.storage.array import RoutedLayout, ShardedCache
+from repro.core.storage.cleaner import CleanerSet
 from repro.patsy.simulator import PatsySimulator
 from repro.patsy.traces import TraceRecord
 from repro.pfs.filesystem import PegasusFileSystem
@@ -126,3 +134,66 @@ def test_migrating_a_policy_requires_no_code_changes():
     policy_for_pfs = make_flush_policy(FlushConfig(policy="periodic"))
     assert isinstance(policy_for_patsy, PeriodicUpdatePolicy)
     assert type(policy_for_patsy) is type(policy_for_pfs)
+
+
+# --------------------------------------------------------------------------- one spec, two worlds
+#
+# The assembly layer makes the paper's claim checkable wholesale: build the
+# *same* StackSpec under both bindings and assert the component classes are
+# identical across the cut-and-paste line, layer by layer.
+
+
+def _component_classes(stack):
+    """The classes of every policy-bearing component in a stack."""
+    classes = {
+        "cache": type(stack.cache),
+        "flush": type(stack.flush_policy),
+        "layout": type(stack.layout),
+        "cleaner": type(stack.cleaner),
+        "placement": type(stack.placement),
+    }
+    if isinstance(stack.cache, ShardedCache):
+        classes["cache_shards"] = [type(shard) for shard in stack.cache.shards]
+        classes["shard_policies"] = [
+            type(shard.policy) for shard in stack.cache.shards
+        ]
+    else:
+        classes["replacement"] = type(stack.cache.policy)
+    if isinstance(stack.layout, RoutedLayout):
+        classes["sublayouts"] = [type(sub) for sub in stack.layout.sublayouts]
+    if isinstance(stack.flush_policy, ShardedFlushPolicy):
+        classes["flush_children"] = [
+            type(child) for child in stack.flush_policy.children
+        ]
+    if isinstance(stack.cleaner, CleanerSet):
+        classes["cleaner_policies"] = [
+            type(daemon.policy) for daemon in stack.cleaner
+        ]
+    return classes
+
+
+@pytest.mark.parametrize(
+    "array",
+    [
+        None,
+        ArrayConfig(volumes=3, buses=2, disks_per_bus=2, placement="stripe"),
+    ],
+    ids=["single-volume", "multi-volume"],
+)
+def test_one_spec_builds_identical_component_classes_in_both_worlds(array):
+    spec = StackSpec(
+        cache=CacheConfig(size_bytes=192 * 4 * KB, replacement="arc"),
+        flush=FlushConfig(policy="nvram", nvram_bytes=16 * 4 * KB),
+        layout=LayoutConfig(segment_size=16 * 4 * KB),
+        array=array,
+        seed=2,
+    )
+    simulated = build_stack(spec, SimulatedBinding())
+    online = build_stack(spec, OnlineBinding(size_bytes=32 * MB))
+    # The paper's claim, enforced layer by layer: identical classes for the
+    # cache (and every shard), flush policy (and every per-shard child),
+    # layout (and every sub-layout), cleaner and placement across worlds.
+    assert _component_classes(simulated) == _component_classes(online)
+    # The only difference is the helper binding underneath.
+    assert simulated.cache.with_data is False and online.cache.with_data is True
+    assert type(simulated.drivers[0]) is not type(online.drivers[0])
