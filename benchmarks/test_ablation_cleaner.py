@@ -27,7 +27,7 @@ from repro.core.inode import FileKind
 from repro.core.scheduler import Scheduler
 from repro.core.storage.cleaner import CleanerDaemon, make_cleaner
 from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.pfs.diskfile import MemoryBackedDiskDriver
 from repro.units import KB, MB
 
@@ -51,7 +51,7 @@ def run_cleaner_experiment(policy_name: str) -> dict:
     rng = random.Random(SEED)
     scheduler = Scheduler(clock=VirtualClock(), seed=SEED)
     driver = MemoryBackedDiskDriver(scheduler, size_bytes=2 * MB)
-    volume = Volume([driver], block_size=4 * KB)
+    volume = LocalVolume([driver], block_size=4 * KB)
     layout = LogStructuredLayout(
         scheduler, volume, block_size=4 * KB, segment_blocks=8, simulated=False
     )

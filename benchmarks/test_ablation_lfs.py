@@ -13,7 +13,7 @@ from repro.core.inode import FileKind
 from repro.core.scheduler import Scheduler
 from repro.core.storage.cleaner import CleanerDaemon, make_cleaner
 from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.pfs.diskfile import MemoryBackedDiskDriver
 from repro.units import KB, MB
 
@@ -24,7 +24,7 @@ FILE_BLOCKS = 24
 def run_configuration(segment_blocks: int, cleaner_policy: str) -> dict:
     scheduler = Scheduler(clock=VirtualClock(), seed=5)
     driver = MemoryBackedDiskDriver(scheduler, size_bytes=4 * MB)
-    volume = Volume([driver], block_size=4 * KB)
+    volume = LocalVolume([driver], block_size=4 * KB)
     layout = LogStructuredLayout(
         scheduler, volume, block_size=4 * KB, segment_blocks=segment_blocks, simulated=False
     )

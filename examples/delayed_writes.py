@@ -6,27 +6,47 @@ paper compares (30-second update, UPS, NVRAM whole-file, NVRAM partial-file)
 and prints the Figure 2-style comparison: mean latencies, latency CDF table,
 write counts and write savings.
 
-Run with:  python examples/delayed_writes.py [trace] [scale]
-           e.g. python examples/delayed_writes.py 1a 0.3
+Run with:  python examples/delayed_writes.py [trace] [scale] [--full-hardware] [--volumes N]
+           e.g. python examples/delayed_writes.py 1a 0.3 --full-hardware
 """
 
-import sys
+import argparse
 
 from repro.analysis.report import (
     ascii_cdf_plot,
     format_latency_cdf_table,
     format_policy_comparison,
 )
-from repro.patsy.experiments import run_policy_comparison
+from repro.cli import add_stack_flags
+from repro.patsy.experiments import (
+    DelayedWriteExperiment,
+    format_spec_delta,
+    run_policy_comparison,
+)
 
 
 def main() -> None:
-    trace_name = sys.argv[1] if len(sys.argv) > 1 else "1a"
-    trace_scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", default="1a")
+    parser.add_argument("scale", nargs="?", type=float, default=0.3)
+    add_stack_flags(parser)
+    args = parser.parse_args()
+    trace_name, trace_scale = args.trace, args.scale
 
+    machine = "sun4_280 array" if args.full_hardware else "single disk"
     print(f"replaying synthetic Sprite trace {trace_name!r} at scale {trace_scale} "
-          f"under four delayed-write policies ...")
-    results = run_policy_comparison(trace_name, trace_scale=trace_scale)
+          f"under four delayed-write policies on a {machine} ...")
+    base = DelayedWriteExperiment(trace_name=trace_name, policy_name="write-delay",
+                                  trace_scale=trace_scale)
+    if args.full_hardware:
+        print("manifest delta vs. the single-disk run:")
+        print(format_spec_delta(base.spec_delta(base.with_array(volumes=args.volumes))))
+    results = run_policy_comparison(
+        trace_name,
+        trace_scale=trace_scale,
+        full_hardware=args.full_hardware,
+        volumes=args.volumes if args.full_hardware else 5,
+    )
 
     print()
     print(format_policy_comparison(results, trace_name))

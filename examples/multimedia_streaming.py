@@ -9,18 +9,24 @@ sequentially, and shows that the multimedia file's cache budget keeps it
 from evicting the small files — while an ordinary regular file of the same
 size pollutes the cache.
 
-Run with:  python examples/multimedia_streaming.py
+Run with:  python examples/multimedia_streaming.py [--full-hardware] [--volumes N]
 """
 
+import argparse
+
 from repro import CacheConfig, LayoutConfig, PegasusFileSystem
+from repro.cli import add_stack_flags, array_section
 from repro.units import KB, MB
 
 
-def build_fs() -> PegasusFileSystem:
+def build_fs(args) -> PegasusFileSystem:
+    array = array_section(args)
     pfs = PegasusFileSystem(
         size_bytes=64 * MB,
-        cache=CacheConfig(size_bytes=1 * MB),     # 256 cache blocks
+        # 256 cache blocks (split into per-volume shards on the array).
+        cache=CacheConfig(size_bytes=1 * MB),
         layout=LayoutConfig(segment_size=128 * KB),
+        array=array,
     )
     pfs.format()
     pfs.mkdir("/small")
@@ -47,10 +53,15 @@ def stream(pfs: PegasusFileSystem, path: str, handle: int, size: int) -> None:
 
 
 def main() -> None:
-    media_size = 8 * MB
+    parser = add_stack_flags(argparse.ArgumentParser(description=__doc__))
+    args = parser.parse_args()
+    # The ten-disk array pushes every block through per-volume LFS logs and
+    # real byte-moving drivers; a smaller media file keeps the demo snappy
+    # while still overflowing each cache shard many times over.
+    media_size = 2 * MB if args.full_hardware else 8 * MB
 
     print("streaming through an ordinary regular file ...")
-    pfs = build_fs()
+    pfs = build_fs(args)
     before = resident_small_blocks(pfs)
     pfs.write_file("/movie-regular.bin", b"m" * media_size)
     pfs.sync()
@@ -61,7 +72,7 @@ def main() -> None:
     print(f"  small-file blocks resident: {before} -> {after_regular}")
 
     print("streaming through a multimedia file (budgeted cache use) ...")
-    pfs = build_fs()
+    pfs = build_fs(args)
     before = resident_small_blocks(pfs)
     handle = pfs.create_multimedia("/movie.mm")
     pfs.write(handle, 0, b"m" * media_size)
@@ -72,8 +83,12 @@ def main() -> None:
     print(f"  small-file blocks resident: {before} -> {after_multimedia}")
 
     print()
-    print(f"cache pollution avoided: {after_multimedia} >= {after_regular} "
-          f"(multimedia file kept its footprint bounded)")
+    if after_multimedia >= after_regular:
+        print(f"cache pollution avoided: {after_multimedia} >= {after_regular} "
+              f"(multimedia file kept its footprint bounded)")
+    else:
+        print(f"small-file residency: {after_multimedia} vs {after_regular} — on a "
+              f"sharded array the effect is per shard; compare within one volume")
 
 
 if __name__ == "__main__":

@@ -12,19 +12,29 @@ buses carved into five volumes — then
 2. mount a ``PegasusFileSystem`` from the *same spec* (memory-backed
    drivers, real bytes) and store real data on the same five-volume array.
 
-Run with:  python examples/one_spec_two_worlds.py
+Run with:  python examples/one_spec_two_worlds.py [--full-hardware] [--volumes N]
+
+This example *is* the full-hardware demo — the flags pick how many volumes
+the sun4_280 preset's ten disks are carved into (``--full-hardware`` is
+accepted for symmetry with the other examples and is the default here).
 """
+
+import argparse
 
 from repro import PatsySimulator, PegasusFileSystem, StackSpec, sun4_280_config
 from repro.analysis.report import format_volume_table
+from repro.cli import add_stack_flags
 from repro.patsy.workload import WorkloadProfile, generate_workload
 from repro.units import MB, human_time
 
 
 def main() -> None:
+    args = add_stack_flags(argparse.ArgumentParser(description=__doc__)).parse_args()
     # The stack, described once: cache shards, flush daemons + governor,
-    # per-volume LFS + cleaners, hash placement over five volumes.
-    spec = StackSpec.from_config(sun4_280_config(scale=0.002, seed=42))
+    # per-volume LFS + cleaners, hash placement over the volumes.
+    spec = StackSpec.from_config(
+        sun4_280_config(scale=0.002, seed=42, volumes=args.volumes)
+    )
     print("spec:", f"{spec.num_disks} disks / {spec.num_buses} buses /",
           f"{spec.num_volumes} volumes, layout={spec.layout.kind}")
     print("manifest round-trip:", StackSpec.from_dict(spec.to_dict()) == spec)

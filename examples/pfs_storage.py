@@ -7,14 +7,19 @@ sync, an unmount (checkpoint) and a remount from the same backing file — the
 check that the segmented LFS metadata (IFILE, checkpoint, segment summaries)
 really round-trips through the disk.
 
-Run with:  python examples/pfs_storage.py [backing-file]
+Run with:  python examples/pfs_storage.py [backing-file] [--full-hardware] [--volumes N]
+
+With ``--full-hardware`` the store is the sun4_280 ten-disk array: disk
+``i`` lands in ``<backing>.d<i>`` and the same metadata round-trip is
+checked across every per-volume sub-layout.
 """
 
-import sys
+import argparse
 import tempfile
 from pathlib import Path
 
 from repro import CacheConfig, LayoutConfig, PegasusFileSystem
+from repro.cli import add_stack_flags, array_section
 from repro.units import KB, MB
 
 
@@ -30,12 +35,19 @@ def populate(pfs: PegasusFileSystem) -> None:
 
 
 def main() -> None:
-    backing = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mktemp(suffix=".pfs"))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("backing", nargs="?", default=None)
+    add_stack_flags(parser)
+    args = parser.parse_args()
+    explicit_backing = args.backing is not None
+    backing = Path(args.backing) if explicit_backing else Path(tempfile.mktemp(suffix=".pfs"))
+    array = array_section(args)
     options = dict(
         backing=backing,
-        size_bytes=32 * MB,
+        size_bytes=80 * MB if array is not None else 32 * MB,
         cache=CacheConfig(size_bytes=2 * MB),
         layout=LayoutConfig(segment_size=128 * KB),
+        array=array,
     )
 
     print(f"formatting a Pegasus file system on {backing} ...")
@@ -60,8 +72,10 @@ def main() -> None:
     remounted.unmount()
     remounted.close_backing()
 
-    if len(sys.argv) <= 1:
+    if not explicit_backing:
         backing.unlink(missing_ok=True)
+        for piece in backing.parent.glob(backing.name + ".d*"):
+            piece.unlink(missing_ok=True)
     print("done.")
 
 

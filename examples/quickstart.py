@@ -9,17 +9,26 @@ This is the smallest end-to-end tour of the reproduction:
    replay a tiny hand-written trace on simulated HP 97560 hardware;
 3. print the measurements the simulator collected.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [--full-hardware] [--volumes N]
+
+``--full-hardware`` swaps the single-disk stack for the paper's Sun 4/280
+(ten disks, three buses, N volumes) in *both* worlds via the sun4_280
+preset.
 """
 
-from repro import PegasusFileSystem, PatsySimulator, TraceRecord, small_test_config
+import argparse
+
+from repro import PegasusFileSystem, PatsySimulator, TraceRecord
+from repro.cli import add_stack_flags, array_section, stack_config
 from repro.pfs.nfs import NfsLoopbackClient, NfsServer
 from repro.units import KB, human_time
 
 
-def online_file_system() -> None:
+def online_file_system(args) -> None:
     print("=== PFS: the on-line instantiation ===")
-    pfs = PegasusFileSystem()          # memory-backed disk, segmented LFS, 30s update policy
+    # Memory-backed disk(s), segmented LFS, 30s update policy; with
+    # --full-hardware the same ten-disk array PATSY simulates below.
+    pfs = PegasusFileSystem(array=array_section(args))
     pfs.format()
     pfs.mkdir("/home")
     pfs.write_file("/home/hello.txt", b"hello, cut-and-paste world\n")
@@ -36,9 +45,9 @@ def online_file_system() -> None:
     print()
 
 
-def offline_simulator() -> None:
+def offline_simulator(args) -> None:
     print("=== Patsy: the off-line instantiation ===")
-    simulator = PatsySimulator(small_test_config())
+    simulator = PatsySimulator(stack_config(args))
     trace = [
         TraceRecord(0.0, 0, "mkdir", "/project"),
         TraceRecord(0.1, 0, "open", "/project/report.txt"),
@@ -59,5 +68,7 @@ def offline_simulator() -> None:
 
 
 if __name__ == "__main__":
-    online_file_system()
-    offline_simulator()
+    parser = add_stack_flags(argparse.ArgumentParser(description=__doc__))
+    arguments = parser.parse_args()
+    online_file_system(arguments)
+    offline_simulator(arguments)

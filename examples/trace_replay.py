@@ -7,15 +7,16 @@ read it back through the Sprite trace reader, replay it on a configured
 Patsy simulator, and print the per-interval and plug-in statistics,
 including the disk-queue and rotational-delay histograms.
 
-Run with:  python examples/trace_replay.py [trace-name] [scale]
+Run with:  python examples/trace_replay.py [trace-name] [scale] [--full-hardware] [--volumes N]
 """
 
-import sys
+import argparse
 import tempfile
 from pathlib import Path
 
 from repro import PatsySimulator, sprite_like_trace
-from repro.config import FlushConfig, sprite_server_config
+from repro.cli import add_stack_flags
+from repro.config import FlushConfig, sprite_server_config, sun4_280_config
 from repro.patsy.sprite import load_sprite_trace
 from repro.patsy.stats import DiskQueuePlugin, RotationalDelayPlugin
 from repro.patsy.traces import operation_mix, save_trace, load_trace
@@ -23,8 +24,12 @@ from repro.units import human_time
 
 
 def main() -> None:
-    trace_name = sys.argv[1] if len(sys.argv) > 1 else "2a"
-    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", default="2a")
+    parser.add_argument("scale", nargs="?", type=float, default=0.25)
+    add_stack_flags(parser)
+    args = parser.parse_args()
+    trace_name, scale = args.trace, args.scale
 
     # 1. Generate a workload and store it as an on-disk trace file.
     records = sprite_like_trace(trace_name, scale=scale, seed=11)
@@ -37,7 +42,13 @@ def main() -> None:
     replayable = load_trace(trace_path)
 
     # 3. Configure a simulator close to the paper's Sprite server and replay.
-    config = sprite_server_config(scale=0.25, seed=11).with_flush(FlushConfig(policy="ups"))
+    if args.full_hardware:
+        # The paper machine as a storage array: per-volume layouts, cache
+        # shards and flush daemons via the sun4_280 preset.
+        config = sun4_280_config(scale=0.25, seed=11, volumes=args.volumes)
+    else:
+        config = sprite_server_config(scale=0.25, seed=11)
+    config = config.with_flush(FlushConfig(policy="ups"))
     simulator = PatsySimulator(config)
     result = simulator.replay(replayable, trace_name=trace_name)
 

@@ -21,20 +21,24 @@ Quick start::
 """
 
 from repro.assembly import (
+    ClusterBinding,
     OnlineBinding,
     SimulatedBinding,
     StackSpec,
     StorageStack,
     build_stack,
     registry,
+    spec_diff,
 )
 from repro.config import (
     ArrayConfig,
     CacheConfig,
+    ClusterConfig,
     FlushConfig,
     HostConfig,
     LayoutConfig,
     SimulationConfig,
+    cluster_config,
     small_test_config,
     sprite_server_config,
     sun4_280_config,
@@ -56,18 +60,22 @@ from repro.pfs.nfs import NfsLoopbackClient, NfsServer
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterBinding",
     "OnlineBinding",
     "SimulatedBinding",
     "StackSpec",
     "StorageStack",
     "build_stack",
     "registry",
+    "spec_diff",
     "ArrayConfig",
     "CacheConfig",
     "FlushConfig",
+    "ClusterConfig",
     "HostConfig",
     "LayoutConfig",
     "SimulationConfig",
+    "cluster_config",
     "small_test_config",
     "sprite_server_config",
     "sun4_280_config",

@@ -14,6 +14,7 @@ __all__ = [
     "format_per_client_latency_table",
     "format_replacement_comparison",
     "format_volume_table",
+    "format_cluster_table",
     "ascii_cdf_plot",
 ]
 
@@ -208,6 +209,65 @@ def format_volume_table(
                 f"governor: wakeups={rollup['governor_wakeups']} "
                 f"flushes={rollup['governor_flushes']}"
             )
+    return "\n".join(lines)
+
+
+def format_cluster_table(
+    cluster_stats: Mapping[str, object],
+    title: str = "cluster nodes",
+) -> str:
+    """Per-node disk/cache/NIC table plus rebalancer counters.
+
+    ``cluster_stats`` is :attr:`repro.patsy.simulator.SimulationResult.cluster_stats`
+    (``{"nodes": N, "per_node": {...}, "rebalancer": {...}}``, produced for
+    multi-node cluster runs).  One row per node: its volumes, disk
+    operations and utilisation, cache hit rate of its shards, and — for
+    remote nodes — the NIC's traffic and utilisation.  The rebalancer line
+    summarises the migration activity.
+    """
+    per_node = cluster_stats.get("per_node", {}) if cluster_stats else {}
+    if not per_node:
+        return "(no per-node statistics: single-machine run)"
+    lines = [title, ""]
+    header = (
+        f"{'node':<7} {'volumes':>8} {'disk-ops':>9} {'disk-util%':>11} "
+        f"{'hit%':>6} {'nic-msgs':>9} {'nic-MB':>8} {'nic-util%':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    # Numeric order: a plain string sort puts node10 before node2.
+    for name in sorted(
+        per_node, key=lambda key: int("".join(filter(str.isdigit, key)) or 0)
+    ):
+        entry = per_node[name]
+        nic = entry.get("nic")
+        hit = entry.get("cache_hit_rate")
+        lines.append(
+            f"{name:<7} {len(entry.get('volumes', [])):>8} "
+            f"{entry.get('disk_operations', 0):>9} "
+            f"{entry.get('mean_disk_utilisation', 0.0) * 100:>10.1f}% "
+            f"{(hit * 100 if hit is not None else 0.0):>5.1f}% "
+            f"{(nic['messages'] if nic else 0):>9} "
+            f"{(nic['bytes_sent'] / (1024 * 1024) if nic else 0.0):>8.1f} "
+            f"{(nic['utilisation'] * 100 if nic else 0.0):>9.1f}%"
+        )
+    placement = cluster_stats.get("placement", {})
+    if placement:
+        lines.append("-" * len(header))
+        lines.append(
+            f"placement={placement.get('inner', '?')} "
+            f"nodes={cluster_stats.get('nodes', 0)} "
+            f"volumes/node={placement.get('volumes_per_node', 0)} "
+            f"displaced-files={placement.get('displaced_files', 0)}"
+        )
+    rebalancer = cluster_stats.get("rebalancer")
+    if rebalancer:
+        lines.append(
+            f"rebalancer: rounds={rebalancer.get('rounds', 0)} "
+            f"migrations={rebalancer.get('migrations', 0)} "
+            f"blocks-copied={rebalancer.get('blocks_copied', 0)} "
+            f"skipped={rebalancer.get('migrations_skipped', 0)}"
+        )
     return "\n".join(lines)
 
 

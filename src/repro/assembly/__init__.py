@@ -35,18 +35,22 @@ __all__ = [
     "ComponentRegistry",
     "registry",
     "StackSpec",
+    "spec_diff",
     "Binding",
     "SimulatedBinding",
     "OnlineBinding",
+    "ClusterBinding",
     "StorageStack",
     "build_stack",
 ]
 
 _LAZY = {
     "StackSpec": "repro.assembly.spec",
+    "spec_diff": "repro.assembly.spec",
     "Binding": "repro.assembly.bindings",
     "SimulatedBinding": "repro.assembly.bindings",
     "OnlineBinding": "repro.assembly.bindings",
+    "ClusterBinding": "repro.assembly.bindings",
     "StorageStack": "repro.assembly.builder",
     "build_stack": "repro.assembly.builder",
 }

@@ -33,7 +33,7 @@ from repro.core.iosched import make_io_scheduler
 from repro.core.scheduler import Scheduler
 from repro.units import MB
 
-__all__ = ["Hardware", "Binding", "SimulatedBinding", "OnlineBinding"]
+__all__ = ["Hardware", "Binding", "SimulatedBinding", "OnlineBinding", "ClusterBinding"]
 
 
 @dataclass
@@ -42,12 +42,15 @@ class Hardware:
 
     ``drivers`` always has one entry per disk of the spec's complement;
     ``buses`` and ``disks`` are populated only by the simulated world
-    (an on-line machine's buses are not modelled).
+    (an on-line machine's buses are not modelled).  ``nics`` holds one
+    network interface per cluster node — empty for single-machine stacks,
+    where no network exists at all.
     """
 
     drivers: List[Any]
     buses: List[Any] = field(default_factory=list)
     disks: List[Any] = field(default_factory=list)
+    nics: List[Any] = field(default_factory=list)
 
 
 class Binding:
@@ -75,6 +78,30 @@ class Binding:
 
     def make_datamover(self, spec: StackSpec) -> DataMover:
         raise NotImplementedError
+
+    def build_network(self, spec: StackSpec, scheduler: Scheduler) -> List[Any]:
+        """One NIC per cluster node, from the spec's cluster section.
+
+        Both worlds share this default: the NIC only charges (virtual or
+        real) scheduler time, exactly like the data mover.  A one-node
+        cluster — or no cluster at all — builds nothing, which is what
+        keeps the single-machine assembly untouched by the cluster tier.
+        """
+        cluster = spec.cluster
+        if cluster is None or cluster.nodes <= 1:
+            return []
+        from repro.core.cluster.network import Nic
+
+        return [
+            Nic(
+                scheduler,
+                name=f"nic{node}",
+                bandwidth=cluster.network_bandwidth,
+                latency=cluster.network_latency,
+                overhead=cluster.nic_overhead,
+            )
+            for node in range(cluster.nodes)
+        ]
 
 
 class SimulatedBinding(Binding):
@@ -125,6 +152,42 @@ class SimulatedBinding(Binding):
         # The simulator cannot perform the buffer copies, so it charges
         # time for them at the host's memory bandwidth.
         return DataMover(charge_time=True, bandwidth=spec.host.memory_copy_bandwidth)
+
+
+class ClusterBinding(SimulatedBinding):
+    """PATSY's helpers for a multi-machine stack, with per-node NIC knobs.
+
+    The plain :class:`SimulatedBinding` already builds the cluster's
+    hardware (every node's buses and disks) and its NICs from the spec's
+    cluster section; this binding exists for experiments that want
+    *heterogeneous* interconnects — e.g. one slow uplink — without growing
+    the serialisable :class:`~repro.config.ClusterConfig`.
+
+    Parameters
+    ----------
+    bandwidth_overrides:
+        Mapping of node index to that node's NIC bandwidth (bytes/s);
+        nodes not listed keep the spec's ``network_bandwidth``.
+    latency_overrides:
+        Mapping of node index to that node's one-way latency (seconds).
+    """
+
+    def __init__(
+        self,
+        bandwidth_overrides: Optional[dict] = None,
+        latency_overrides: Optional[dict] = None,
+    ):
+        self.bandwidth_overrides = dict(bandwidth_overrides or {})
+        self.latency_overrides = dict(latency_overrides or {})
+
+    def build_network(self, spec: StackSpec, scheduler: Scheduler) -> List[Any]:
+        nics = super().build_network(spec, scheduler)
+        for node, nic in enumerate(nics):
+            if node in self.bandwidth_overrides:
+                nic.bandwidth = float(self.bandwidth_overrides[node])
+            if node in self.latency_overrides:
+                nic.latency = float(self.latency_overrides[node])
+        return nics
 
 
 class OnlineBinding(Binding):

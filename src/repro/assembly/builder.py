@@ -8,11 +8,20 @@ array).  This builder is now the only assembly path: a world-independent
 :class:`~repro.assembly.bindings.Binding` yields a fully wired
 :class:`StorageStack`, and the two front-ends are thin facades over it.
 
+The multi-volume branch covers both the single-machine array and the
+multi-machine cluster: a cluster is the same per-node sub-stack (volumes,
+layouts, cache shards, flush daemons) built once per node, with every
+non-front-end node's volumes wrapped in a
+:class:`~repro.core.cluster.remote.RemoteVolume` so their block I/O crosses
+the simulated network, and a
+:class:`~repro.core.cluster.placement.ClusterPlacement` routing tier on top.
+
 The construction order below is load-bearing: scheduler interactions during
 assembly (thread spawns, RNG wiring) must be identical across worlds and
 identical to the historical order, so that a one-volume array stays
-byte-identical to the legacy single-volume assembly (pinned by
-``tests/test_array.py``).
+byte-identical to the legacy single-volume assembly and a one-node cluster
+stays byte-identical to the bare array (pinned by ``tests/test_array.py``
+and ``tests/test_cluster.py``).
 """
 
 from __future__ import annotations
@@ -25,6 +34,10 @@ from repro.assembly.registry import registry
 from repro.assembly.spec import StackSpec
 from repro.core.cache import BlockCache
 from repro.core.client import AbstractClientInterface
+from repro.core.cluster.node import ClusterNode, ClusterTopology
+from repro.core.cluster.placement import ClusterPlacement
+from repro.core.cluster.rebalance import ClusterRebalancer
+from repro.core.cluster.remote import RemoteVolume
 from repro.core.datamover import DataMover
 from repro.core.filesystem import FileSystem
 from repro.core.flush import FlushPolicy, ShardedFlushPolicy, make_flush_policy
@@ -38,7 +51,7 @@ from repro.core.storage.array import (
 )
 from repro.core.storage.cleaner import CleanerDaemon, CleanerSet, make_cleaner
 from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume, Volume
 
 # Imported for their registry side effects: the built-in layouts register
 # themselves under the "layout" kind when their module loads (lfs does so
@@ -71,18 +84,20 @@ class StorageStack:
     disks: List[Any]
     #: one disk driver per disk of the spec's complement.
     drivers: List[Any]
-    #: a Volume, or a VolumeSet for an array stack.
-    volume: Union[Volume, VolumeSet]
+    #: a Volume, or a VolumeSet for an array/cluster stack.
+    volume: Volume
     #: a single layout, or a RoutedLayout over per-volume sub-layouts.
     layout: Any
-    #: a BlockCache, or a ShardedCache for an array stack.
+    #: a BlockCache, or a ShardedCache for an array/cluster stack.
     cache: Union[BlockCache, ShardedCache]
     datamover: DataMover
     flush_policy: FlushPolicy
     #: a CleanerDaemon, a CleanerSet (array of LFS volumes), or None.
     cleaner: Optional[Union[CleanerDaemon, CleanerSet]]
-    #: the placement policy (array stacks only).
+    #: the placement policy (array/cluster stacks only).
     placement: Optional[PlacementPolicy]
+    #: the cluster topology (multi-machine stacks only).
+    cluster: Optional[ClusterTopology] = None
     fs: FileSystem = field(init=False)
     client: AbstractClientInterface = field(init=False)
 
@@ -98,6 +113,19 @@ class StorageStack:
         self.client = AbstractClientInterface(
             self.fs, auto_materialize=self.binding.auto_materialize
         )
+        # The skew monitor exists only for real multi-node clusters with
+        # rebalancing enabled; a one-node cluster spawns nothing, keeping
+        # it byte-identical to the bare array assembly.
+        cluster_config = self.spec.cluster
+        if (
+            self.cluster is not None
+            and cluster_config is not None
+            and cluster_config.nodes > 1
+            and cluster_config.rebalance
+        ):
+            rebalancer = ClusterRebalancer(self.fs, self.cluster.placement, cluster_config)
+            self.cluster.rebalancer = rebalancer
+            rebalancer.start()
 
 
 def _build_layout(
@@ -155,15 +183,15 @@ def build_stack(
     drivers = hardware.drivers
 
     array = spec.array
+    cluster = spec.cluster
     simulated = binding.simulated
     with_data = binding.with_data
     placement: Optional[PlacementPolicy] = None
     cleaner: Optional[Union[CleanerDaemon, CleanerSet]] = None
+    topology: Optional[ClusterTopology] = None
 
-    if array is None:
-        volume: Union[Volume, VolumeSet] = Volume(
-            drivers, block_size=spec.cache.block_size
-        )
+    if array is None and cluster is None:
+        volume: Volume = LocalVolume(drivers, block_size=spec.cache.block_size)
         layout = _build_layout(spec, scheduler, volume, simulated, spec.seed)
         cache: Union[BlockCache, ShardedCache] = BlockCache(
             scheduler, spec.cache, with_data=with_data
@@ -173,16 +201,39 @@ def build_stack(
         if isinstance(layout, LogStructuredLayout):
             cleaner = _make_cleaner_daemon(spec, scheduler, layout)
     else:
+        total_volumes = spec.num_volumes
+        # The per-node shape; synthesised defaults when no array section
+        # is configured, so cluster-without-array stacks track ArrayConfig's
+        # dataclass defaults from one place.
+        node_array = spec.effective_array
         placement = make_placement_policy(
-            array.placement, array.volumes, stripe_unit=array.stripe_unit_blocks
+            node_array.placement,
+            total_volumes,
+            stripe_unit=node_array.stripe_unit_blocks,
         )
-        volumes = [
-            Volume(
-                [drivers[i] for i in array.disks_of_volume(v)],
+        if cluster is not None:
+            placement = ClusterPlacement(placement, cluster.nodes, spec.volumes_per_node)
+        nics = hardware.nics or binding.build_network(spec, scheduler)
+        volumes: List[Volume] = []
+        remote_volumes: dict = {}
+        for v in range(total_volumes):
+            local = LocalVolume(
+                [drivers[i] for i in spec.disks_of_volume(v)],
                 block_size=spec.cache.block_size,
             )
-            for v in range(array.volumes)
-        ]
+            node = spec.node_of_volume(v)
+            if nics and node != 0:
+                assert cluster is not None
+                remote = RemoteVolume(
+                    local,
+                    local_nic=nics[0],
+                    remote_nic=nics[node],
+                    request_bytes=cluster.request_bytes,
+                )
+                remote_volumes[v] = remote
+                volumes.append(remote)
+            else:
+                volumes.append(local)
         volume = VolumeSet(volumes)
         sublayouts = [
             _build_layout(
@@ -192,9 +243,9 @@ def build_stack(
                 simulated,
                 spec.seed + v,
                 inode_base=v,
-                inode_stride=array.volumes,
+                inode_stride=total_volumes,
             )
-            for v in range(array.volumes)
+            for v in range(total_volumes)
         ]
         layout = RoutedLayout(
             scheduler,
@@ -204,16 +255,16 @@ def build_stack(
             block_size=spec.cache.block_size,
             seed=spec.seed,
         )
-        if array.shard == "per-volume":
+        if node_array.shard == "per-volume":
             shard_config = replace(
                 spec.cache,
                 size_bytes=max(
-                    spec.cache.size_bytes // array.volumes, spec.cache.block_size
+                    spec.cache.size_bytes // total_volumes, spec.cache.block_size
                 ),
             )
             shards = [
                 BlockCache(scheduler, shard_config, with_data=with_data)
-                for _ in range(array.volumes)
+                for _ in range(total_volumes)
             ]
             router = placement.volume_for_block
         else:  # "unified": one cache over all volumes
@@ -223,9 +274,9 @@ def build_stack(
         datamover = binding.make_datamover(spec)
         flush_policy = ShardedFlushPolicy(
             spec.flush,
-            high_water=array.governor_high_water,
-            low_water=array.governor_low_water,
-            check_interval=array.governor_interval,
+            high_water=node_array.governor_high_water,
+            low_water=node_array.governor_low_water,
+            check_interval=node_array.governor_interval,
         )
         lfs_daemons = [
             _make_cleaner_daemon(spec, scheduler, sub)
@@ -234,6 +285,38 @@ def build_stack(
         ]
         if lfs_daemons:
             cleaner = CleanerSet(lfs_daemons)
+        if cluster is not None:
+            assert isinstance(placement, ClusterPlacement)
+            nodes = []
+            vpn = spec.volumes_per_node
+            for n in range(cluster.nodes):
+                vol_indices = list(range(n * vpn, (n + 1) * vpn))
+                node_disks = [
+                    drivers[i]
+                    for v in vol_indices
+                    for i in spec.disks_of_volume(v)
+                ]
+                nodes.append(
+                    ClusterNode(
+                        index=n,
+                        nic=nics[n] if nics else None,
+                        volume_indices=vol_indices,
+                        drivers=node_disks,
+                        volumes=[volumes[v] for v in vol_indices],
+                        sublayouts=[sublayouts[v] for v in vol_indices],
+                        cache_shards=(
+                            [shards[v] for v in vol_indices]
+                            if len(shards) == total_volumes
+                            else []
+                        ),
+                    )
+                )
+            topology = ClusterTopology(
+                nodes=nodes,
+                nics=nics,
+                placement=placement,
+                remote_volumes=remote_volumes,
+            )
 
     return StorageStack(
         spec=spec,
@@ -249,4 +332,5 @@ def build_stack(
         flush_policy=flush_policy,
         cleaner=cleaner,
         placement=placement,
+        cluster=topology,
     )

@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional
 from repro.config import (
     ArrayConfig,
     CacheConfig,
+    ClusterConfig,
     FlushConfig,
     HostConfig,
     LayoutConfig,
@@ -28,7 +29,7 @@ from repro.config import (
 )
 from repro.errors import ConfigurationError
 
-__all__ = ["StackSpec"]
+__all__ = ["StackSpec", "spec_diff"]
 
 #: sub-config dataclass per StackSpec field, for (de)serialisation.
 _SECTION_TYPES = {
@@ -37,6 +38,7 @@ _SECTION_TYPES = {
     "layout": LayoutConfig,
     "host": HostConfig,
     "array": ArrayConfig,
+    "cluster": ClusterConfig,
 }
 
 
@@ -58,35 +60,86 @@ class StackSpec:
     host: HostConfig = field(default_factory=HostConfig)
     #: multi-volume storage array; None = the classic single-volume stack.
     array: Optional[ArrayConfig] = None
+    #: multi-machine cluster tier; None (or one node) = a single machine.
+    cluster: Optional[ClusterConfig] = None
     #: seed for the scheduler and any synthesised parameters.
     seed: int = 0
 
     # ------------------------------------------------------------------ derived shape
 
     @property
-    def num_volumes(self) -> int:
+    def num_nodes(self) -> int:
+        return self.cluster.nodes if self.cluster is not None else 1
+
+    @property
+    def volumes_per_node(self) -> int:
+        """One node's volume complement (the per-node array shape)."""
         return self.array.volumes if self.array is not None else 1
 
     @property
-    def num_disks(self) -> int:
-        """Total disk complement (the array owns it when present)."""
+    def effective_array(self) -> ArrayConfig:
+        """The per-node array shape, synthesised from the host when no
+        ``array`` section is configured (a single-volume node over the
+        host's disks, with every array knob at its dataclass default).
+        The one source of truth for placement/shard/governor defaults on
+        cluster stacks built without an explicit array."""
+        if self.array is not None:
+            return self.array
+        return ArrayConfig(
+            volumes=1,
+            buses=self.host.num_buses,
+            disks_per_bus=-(-self.host.num_disks // self.host.num_buses),
+            num_disks=self.host.num_disks,
+        )
+
+    @property
+    def num_volumes(self) -> int:
+        return self.num_nodes * self.volumes_per_node
+
+    @property
+    def disks_per_node(self) -> int:
+        """One node's disk complement."""
         return self.array.total_disks if self.array is not None else self.host.num_disks
 
     @property
-    def num_buses(self) -> int:
+    def num_disks(self) -> int:
+        """Total disk complement over every node of the cluster."""
+        return self.num_nodes * self.disks_per_node
+
+    @property
+    def buses_per_node(self) -> int:
         return self.array.buses if self.array is not None else self.host.num_buses
 
+    @property
+    def num_buses(self) -> int:
+        """Total bus complement (each node carries its own buses)."""
+        return self.num_nodes * self.buses_per_node
+
+    def node_of_disk(self, disk_index: int) -> int:
+        return disk_index // self.disks_per_node
+
+    def node_of_volume(self, volume_index: int) -> int:
+        return volume_index // self.volumes_per_node
+
     def bus_for_disk(self, disk_index: int) -> int:
+        """Global bus index of one disk (buses never span nodes)."""
         owner = self.array if self.array is not None else self.host
-        return owner.bus_for_disk(disk_index)
+        node, local = divmod(disk_index, self.disks_per_node)
+        return node * self.buses_per_node + owner.bus_for_disk(local)
 
     def disks_of_volume(self, volume_index: int) -> range:
-        """Global disk indices of one volume (all disks for a non-array)."""
+        """Global disk indices of one volume (a node-local contiguous run)."""
+        if not (0 <= volume_index < self.num_volumes):
+            raise ConfigurationError(
+                f"no volume {volume_index} in a {self.num_volumes}-volume stack"
+            )
+        node, local = divmod(volume_index, self.volumes_per_node)
+        offset = node * self.disks_per_node
         if self.array is not None:
-            return self.array.disks_of_volume(volume_index)
-        if volume_index != 0:
-            raise ConfigurationError("a single-volume stack only has volume 0")
-        return range(self.num_disks)
+            local_range = self.array.disks_of_volume(local)
+        else:
+            local_range = range(self.disks_per_node)
+        return range(offset + local_range.start, offset + local_range.stop)
 
     # ------------------------------------------------------------------ conversions
 
@@ -99,6 +152,7 @@ class StackSpec:
             layout=config.layout,
             host=config.host,
             array=config.array,
+            cluster=config.cluster,
             seed=config.seed,
         )
 
@@ -115,6 +169,7 @@ class StackSpec:
             layout=self.layout,
             host=self.host,
             array=self.array,
+            cluster=self.cluster,
             seed=self.seed,
             **overrides,
         )
@@ -122,6 +177,10 @@ class StackSpec:
     def with_array(self, array: Optional[ArrayConfig]) -> "StackSpec":
         """A copy of this spec on a different array shape (None removes it)."""
         return replace(self, array=array)
+
+    def with_cluster(self, cluster: Optional[ClusterConfig]) -> "StackSpec":
+        """A copy of this spec on a different cluster shape (None removes it)."""
+        return replace(self, cluster=cluster)
 
     # ------------------------------------------------------------------ serialisation
 
@@ -166,3 +225,38 @@ class StackSpec:
         if "seed" in data:
             kwargs["seed"] = int(data["seed"])
         return cls(**kwargs)
+
+
+def spec_diff(a: StackSpec, b: StackSpec) -> Dict[str, Any]:
+    """The fields on which two specs differ, as a nested dict.
+
+    Returns ``{section: {field: (a_value, b_value)}}`` for every differing
+    sub-config field, ``{section: (a_section_or_None, b_section_or_None)}``
+    when a whole section is present on one side only, and
+    ``{"seed": (a, b)}`` for the top-level seed.  An empty dict means the
+    specs describe the same stack.  Experiments use this to print manifest
+    deltas — the exact knobs that separate two runs — instead of two full
+    specs.
+    """
+    diff: Dict[str, Any] = {}
+    for name in _SECTION_TYPES:
+        section_a = getattr(a, name)
+        section_b = getattr(b, name)
+        if section_a == section_b:
+            continue
+        if section_a is None or section_b is None:
+            diff[name] = (
+                None if section_a is None else asdict(section_a),
+                None if section_b is None else asdict(section_b),
+            )
+            continue
+        fields_diff = {
+            f.name: (getattr(section_a, f.name), getattr(section_b, f.name))
+            for f in fields(section_a)
+            if getattr(section_a, f.name) != getattr(section_b, f.name)
+        }
+        if fields_diff:
+            diff[name] = fields_diff
+    if a.seed != b.seed:
+        diff["seed"] = (a.seed, b.seed)
+    return diff

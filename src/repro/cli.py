@@ -1,0 +1,78 @@
+"""Shared command-line flags for the example scripts.
+
+Every script in ``examples/`` accepts the same pair of hardware flags:
+
+* ``--full-hardware`` — run on the paper's evaluation machine, the
+  ``sun4_280`` preset (ten HP 97560 disks on three SCSI buses, carved into
+  volumes with per-volume cache shards and flush daemons), instead of the
+  fast single-disk default.
+* ``--volumes N`` — how many volumes the ten disks are carved into
+  (default 5, the preset's shape; only meaningful with ``--full-hardware``).
+
+``add_stack_flags`` puts the flags on an ``argparse`` parser;
+``array_section``/``stack_config`` turn parsed arguments into the array
+sub-config or a whole simulator configuration, both routed through the
+:func:`repro.config.sun4_280_config` preset so the examples and the
+benchmarks agree on what "the full machine" means.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.config import (
+    ArrayConfig,
+    SimulationConfig,
+    small_test_config,
+    sun4_280_config,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["add_stack_flags", "array_section", "stack_config"]
+
+
+def add_stack_flags(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Add the shared ``--full-hardware`` / ``--volumes`` flags."""
+    parser.add_argument(
+        "--full-hardware",
+        action="store_true",
+        help="run on the sun4_280 preset: 10 HP 97560 disks on 3 SCSI buses",
+    )
+    parser.add_argument(
+        "--volumes",
+        type=int,
+        default=5,
+        metavar="N",
+        help="volumes the full machine's disks are carved into (default: 5)",
+    )
+    return parser
+
+
+def array_section(
+    args: argparse.Namespace, placement: str = "hash"
+) -> Optional[ArrayConfig]:
+    """The ``sun4_280`` array shape selected by the flags (None without
+    ``--full-hardware``) — for callers that assemble their own stack, e.g.
+    a :class:`~repro.pfs.filesystem.PegasusFileSystem` mounting the array."""
+    if not args.full_hardware:
+        return None
+    preset = sun4_280_config(scale=0.01, volumes=args.volumes, placement=placement)
+    return preset.array
+
+
+def stack_config(
+    args: argparse.Namespace,
+    scale: float = 0.002,
+    seed: int = 0,
+    placement: str = "hash",
+) -> SimulationConfig:
+    """A full simulator configuration for the flags: the ``sun4_280``
+    preset with ``--full-hardware``, the small test stack otherwise."""
+    if args.volumes < 1:
+        raise ConfigurationError("--volumes must be at least 1")
+    if args.full_hardware:
+        return sun4_280_config(
+            scale=scale, seed=seed, volumes=args.volumes, placement=placement
+        )
+    return small_test_config(seed=seed)

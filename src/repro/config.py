@@ -37,10 +37,12 @@ __all__ = [
     "LayoutConfig",
     "HostConfig",
     "ArrayConfig",
+    "ClusterConfig",
     "SimulationConfig",
     "DAEMON_LOW_WATER_DEFAULTS",
     "sprite_server_config",
     "sun4_280_config",
+    "cluster_config",
     "small_test_config",
 ]
 
@@ -322,6 +324,67 @@ class ArrayConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """Multi-machine cluster tier above the storage array.
+
+    A cluster is ``nodes`` machines, each running the per-node volume
+    complement described by ``SimulationConfig.array`` (a single-volume
+    node when no array is configured).  Node 0 is the front end where
+    clients arrive; block I/O addressed to another node's volumes crosses a
+    simulated network link — per-NIC queueing plus latency and bandwidth,
+    charged with the same time discipline as PATSY's SCSI buses.
+
+    A skew monitor watches per-volume load and free space and, when the
+    imbalance passes the configured thresholds, *migrates* files between
+    volumes online: live blocks are copied forward through the cache and
+    the routing entry is flipped atomically.  With ``nodes=1`` no network
+    objects or monitor threads exist at all, so the replay is byte-identical
+    to the bare array stack (pinned by ``tests/test_cluster.py``).
+    """
+
+    #: number of machines; node 0 is the client-facing front end.
+    nodes: int = 1
+    #: sustained NIC bandwidth, bytes per second (full-duplex links; each
+    #: direction charges the *sending* NIC).
+    network_bandwidth: float = 100 * MB
+    #: one-way propagation latency per message, seconds (not holding the NIC).
+    network_latency: float = 0.0002
+    #: per-message NIC setup/interrupt overhead, seconds (holding the NIC).
+    nic_overhead: float = 0.00005
+    #: size of a request/acknowledgement message header, bytes.
+    request_bytes: int = 128
+    #: whether the skew monitor runs (``nodes > 1`` only).
+    rebalance: bool = True
+    #: how often (simulated seconds) the skew monitor re-examines the volumes.
+    rebalance_interval: float = 5.0
+    #: migrate when the busiest volume carries more than this multiple of the
+    #: mean per-volume load over the last interval.
+    imbalance_threshold: float = 2.0
+    #: also migrate off any volume whose free-block fraction drops below this.
+    free_space_low_water: float = 0.10
+    #: upper bound on file migrations per monitor round.
+    max_migrations_per_round: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError("a cluster needs at least one node")
+        if self.network_bandwidth <= 0:
+            raise ConfigurationError("network bandwidth must be positive")
+        if self.network_latency < 0 or self.nic_overhead < 0:
+            raise ConfigurationError("network latency/overhead cannot be negative")
+        if self.request_bytes < 1:
+            raise ConfigurationError("request_bytes must be positive")
+        if self.rebalance_interval <= 0:
+            raise ConfigurationError("rebalance_interval must be positive")
+        if self.imbalance_threshold < 1.0:
+            raise ConfigurationError("imbalance_threshold must be at least 1.0")
+        if not (0.0 <= self.free_space_low_water < 1.0):
+            raise ConfigurationError("free_space_low_water must be in [0, 1)")
+        if self.max_migrations_per_round < 1:
+            raise ConfigurationError("max_migrations_per_round must be positive")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Complete configuration of a Patsy simulation run."""
 
@@ -332,6 +395,10 @@ class SimulationConfig:
     #: multi-volume storage array; None keeps the classic single-volume
     #: assembly (one cache, one volume over all of the host's disks).
     array: Optional[ArrayConfig] = None
+    #: multi-machine cluster tier; None (or ``nodes=1``) keeps everything on
+    #: one machine.  Each node runs the ``array`` complement (or a
+    #: single-volume stack when ``array`` is None).
+    cluster: Optional[ClusterConfig] = None
     #: random seed for the scheduler and any synthesised parameters.
     seed: int = 0
     #: emit interval statistics every this many seconds of simulated time
@@ -406,6 +473,52 @@ def sun4_280_config(
             disks_per_bus=-(-num_disks // buses),
             num_disks=num_disks,
             placement=placement,
+        ),
+        seed=seed,
+    )
+
+
+def cluster_config(
+    nodes: int = 4,
+    scale: float = 1.0,
+    seed: int = 0,
+    volumes_per_node: int = 2,
+    disks_per_node: int = 2,
+    buses_per_node: int = 1,
+    placement: str = "directory",
+    rebalance: bool = True,
+    network_bandwidth: float = 100 * MB,
+) -> SimulationConfig:
+    """An N-node cluster of small storage servers behind one front end.
+
+    Each node runs ``volumes_per_node`` volumes over ``disks_per_node``
+    disks on ``buses_per_node`` SCSI buses; node 0 is the front end and the
+    other nodes' volumes are reached over simulated network links.  The
+    cache and NVRAM scale with the node count so per-volume shards keep a
+    workable size; ``scale`` shrinks memory exactly as in
+    :func:`sprite_server_config`.
+    """
+    if scale <= 0 or scale > 1.0:
+        raise ConfigurationError("scale must be in (0, 1]")
+    total_volumes = max(nodes * volumes_per_node, 1)
+    cache_bytes = max(int(128 * MB * scale), 64 * DEFAULT_BLOCK_SIZE * total_volumes)
+    nvram_bytes = max(int(4 * MB * scale), 8 * DEFAULT_BLOCK_SIZE * total_volumes)
+    return SimulationConfig(
+        cache=CacheConfig(size_bytes=cache_bytes),
+        flush=FlushConfig(policy="periodic", nvram_bytes=nvram_bytes),
+        layout=LayoutConfig(kind="lfs"),
+        host=HostConfig(num_disks=disks_per_node, num_buses=buses_per_node),
+        array=ArrayConfig(
+            volumes=volumes_per_node,
+            buses=buses_per_node,
+            disks_per_bus=-(-disks_per_node // buses_per_node),
+            num_disks=disks_per_node,
+            placement=placement,
+        ),
+        cluster=ClusterConfig(
+            nodes=nodes,
+            rebalance=rebalance,
+            network_bandwidth=network_bandwidth,
         ),
         seed=seed,
     )

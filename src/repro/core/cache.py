@@ -286,6 +286,12 @@ class BlockCache:
                 )
             self.stats.allocation_stalls += 1
             yield from self._make_space()
+            # Another thread may have cached this very block while we
+            # waited for space; inserting a second copy would corrupt the
+            # index.  Raise the same error the entry check uses — every
+            # caller already handles it with a re-lookup.
+            if block_id in self._index:
+                raise CacheError(f"block {block_id} is already cached")
         block.block_id = block_id
         block.state = BlockState.CLEAN
         block.record_access(self.scheduler.now)

@@ -164,16 +164,39 @@ class AbstractClientInterface:
     def fsync(self, handle: int) -> Generator[Any, Any, int]:
         self.stats.count("fsync")
         entry = self.fs.file_table.get_handle(handle)
-        written = yield from entry.file.flush()
-        yield from self.fs.sync_inode(entry.file.file_id)
-        # Make the file durable as a whole: a freshly created file is only
-        # reachable through its directory entry, so the containing
-        # directory's dirty blocks and inode are flushed as well (the count
-        # returned is still the file's own data blocks).
-        if entry.file.parent_id is not None:
-            yield from self.fs.cache.flush_file(entry.file.parent_id)
-            yield from self.fs.sync_inode(entry.file.parent_id)
+        file = entry.file
+        written = yield from file.flush()
+        yield from self.fs.sync_inode(file.file_id)
+        # Make the file durable as a whole: it is only reachable through
+        # its directory entries, so the *full ancestor dirent chain* is
+        # flushed up to the root, plus — after a rename — both the source
+        # and destination directories (and their chains).  The count
+        # returned is still the file's own data blocks.
+        # Consume the pending set *before* flushing: a rename racing the
+        # flushes below re-records its directories (even ones this fsync
+        # already flushed and the rename re-dirtied), so the next fsync
+        # still makes that rename durable.
+        starts = set(file.pending_sync_parents)
+        file.pending_sync_parents.difference_update(starts)
+        if file.parent_id is not None:
+            starts.add(file.parent_id)
+        flushed: set[int] = set()
+        for start in sorted(starts):
+            yield from self._sync_ancestor_chain(start, flushed)
         return written
+
+    def _sync_ancestor_chain(
+        self, directory_id: int, flushed: set[int]
+    ) -> Generator[Any, Any, None]:
+        """Flush a directory's blocks and inode, then its parent's, up to
+        the root (or as far as the in-core parent linkage reaches)."""
+        current: Optional[int] = directory_id
+        while current is not None and current not in flushed:
+            flushed.add(current)
+            yield from self.fs.cache.flush_file(current)
+            yield from self.fs.sync_inode(current)
+            loaded = self.fs.file_table.find(current)
+            current = loaded.parent_id if loaded is not None else None
 
     # Path-based conveniences (used by the NFS front-end, which is stateless).
 
@@ -269,6 +292,10 @@ class AbstractClientInterface:
         old_parent, old_name = yield from self.fs.namespace.resolve_parent(old_path)
         yield from new_parent.add_entry(new_name, file.file_id)
         yield from old_parent.remove_entry(old_name)
+        # Rename durability: fsync of the renamed file must flush *both*
+        # directories — the new entry and the removed old one.
+        file.pending_sync_parents.update({old_parent.file_id, new_parent.file_id})
+        file.parent_id = new_parent.file_id
 
     def symlink(self, target: str, path: str) -> Generator[Any, Any, dict]:
         self.stats.count("symlink")

@@ -1,0 +1,128 @@
+"""``ClusterPlacement``: the routing tier above the array's placement.
+
+The array's placement policies (hash / stripe / directory-affinity) are
+pure arithmetic: a file's home volume is encoded in its inode number, so
+routing needs no table.  A cluster must be able to *change* a file's home —
+that is what rebalancing is — so this tier adds exactly one thing on top of
+an inner policy: a routing table of overrides.  A file without an entry
+routes by the inner policy's arithmetic (the common case stays O(1) and
+table-free); a migrated file routes by its entry.  Flipping an entry is a
+single dictionary store, which under the cooperative scheduler makes the
+switch atomic — no I/O can interleave with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.inode import FileKind
+from repro.core.storage.array import PlacementPolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["ClusterPlacement"]
+
+
+class ClusterPlacement(PlacementPolicy):
+    """An inner placement policy plus a migration routing table.
+
+    ``nodes`` machines each own ``volumes_per_node`` consecutive volumes
+    (node ``n`` owns ``[n * vpn, (n + 1) * vpn)``); the inner policy is
+    built over the *total* volume count, so its statistical spread covers
+    the whole cluster.
+    """
+
+    name = "cluster"
+
+    def __init__(self, inner: PlacementPolicy, nodes: int, volumes_per_node: int):
+        if nodes < 1 or volumes_per_node < 1:
+            raise ConfigurationError("cluster placement needs at least one node and volume")
+        if inner.num_volumes != nodes * volumes_per_node:
+            raise ConfigurationError(
+                f"inner placement covers {inner.num_volumes} volumes, "
+                f"but {nodes} nodes x {volumes_per_node} volumes were configured"
+            )
+        super().__init__(inner.num_volumes)
+        self.inner = inner
+        self.nodes = nodes
+        self.volumes_per_node = volumes_per_node
+        #: the routing table: file id -> migrated home volume.
+        self._overrides: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ topology
+
+    def node_of_volume(self, volume: int) -> int:
+        return volume // self.volumes_per_node
+
+    def node_of_file(self, file_id: int) -> int:
+        return self.node_of_volume(self.volume_of_file(file_id))
+
+    def volumes_of_node(self, node: int) -> range:
+        start = node * self.volumes_per_node
+        return range(start, start + self.volumes_per_node)
+
+    # ------------------------------------------------------------------ routing
+
+    def home_for_new_file(
+        self,
+        parent_id: Optional[int],
+        name: Optional[str],
+        counter: int,
+        kind: Optional[FileKind] = None,
+    ) -> int:
+        return self.inner.home_for_new_file(parent_id, name, counter, kind=kind)
+
+    def volume_of_file(self, file_id: int) -> int:
+        home = self._overrides.get(file_id)
+        if home is not None:
+            return home
+        return self.inner.volume_of_file(file_id)
+
+    def volume_for_block(self, file_id: int, block_no: int) -> int:
+        # Migrated files are whole-file resident on their new home: a
+        # striped file collapses onto one volume when it migrates (the
+        # migration copies every live block there).
+        home = self._overrides.get(file_id)
+        if home is not None:
+            return home
+        return self.inner.volume_for_block(file_id, block_no)
+
+    # ------------------------------------------------------------------ migration
+
+    def migrated_home(self, file_id: int) -> Optional[int]:
+        """The override for ``file_id``, or None when it routes natively."""
+        return self._overrides.get(file_id)
+
+    def flip(self, file_id: int, new_volume: int) -> None:
+        """Atomically repoint ``file_id`` at ``new_volume``.
+
+        A flip back to the file's native arithmetic home removes the entry,
+        so the table only ever holds genuinely displaced files.
+        """
+        if not (0 <= new_volume < self.num_volumes):
+            raise ConfigurationError(f"no volume {new_volume} in this cluster")
+        whole_file = (
+            type(self.inner).volume_for_block is PlacementPolicy.volume_for_block
+        )
+        if whole_file and new_volume == self.inner.volume_of_file(file_id):
+            # Back on the native home of a whole-file policy: no entry
+            # needed.  Striped files keep one (their native routing rotates
+            # per block, but a migrated file is whole-file resident).
+            self._overrides.pop(file_id, None)
+            return
+        self._overrides[file_id] = new_volume
+
+    def forget(self, file_id: int) -> None:
+        """Drop the routing entry of a deleted file."""
+        self._overrides.pop(file_id, None)
+
+    @property
+    def displaced_files(self) -> int:
+        return len(self._overrides)
+
+    def snapshot(self) -> dict:
+        return {
+            "inner": self.inner.name,
+            "nodes": self.nodes,
+            "volumes_per_node": self.volumes_per_node,
+            "displaced_files": self.displaced_files,
+        }

@@ -1,0 +1,123 @@
+"""``RemoteVolume``: a volume whose block I/O crosses the network.
+
+The storage layouts only ever talk to the :class:`~repro.core.storage.volume.Volume`
+protocol, so putting a volume on another machine is one wrapper: every read
+sends a request out of the front end's NIC and returns the data out of the
+serving node's NIC; every write pushes the data out of the front end's NIC
+and returns an acknowledgement.  Each crossing queues on the sending NIC
+(bandwidth + per-message overhead) and then pays the propagation latency —
+the same charged-time discipline the SCSI buses use, so network contention
+surfaces in the measured latencies exactly like bus contention does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.cluster.network import Nic
+from repro.core.storage.volume import LocalVolume, Volume
+
+__all__ = ["RemoteVolume"]
+
+
+class RemoteVolume(Volume):
+    """A volume served by another node over simulated network links.
+
+    Parameters
+    ----------
+    backing:
+        The serving node's local volume (holds the disks and queues).
+    local_nic:
+        The front end's NIC: requests and write payloads leave through it.
+    remote_nic:
+        The serving node's NIC: read payloads and acknowledgements leave
+        through it.
+    request_bytes:
+        Size of a request/acknowledgement header message.
+    """
+
+    def __init__(
+        self,
+        backing: LocalVolume,
+        local_nic: Nic,
+        remote_nic: Nic,
+        request_bytes: int = 128,
+    ):
+        self.backing = backing
+        self.local_nic = local_nic
+        self.remote_nic = remote_nic
+        self.request_bytes = request_bytes
+        self.block_size = backing.block_size
+        self.remote_reads = 0
+        self.remote_writes = 0
+        self.bytes_over_wire = 0
+
+    # -- shape (delegated) -------------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        return self.backing.total_blocks
+
+    @property
+    def num_disks(self) -> int:
+        return self.backing.num_disks
+
+    @property
+    def drivers(self):
+        return self.backing.drivers
+
+    @property
+    def sectors_per_block(self) -> int:
+        return self.backing.sectors_per_block
+
+    def disk_of(self, block_addr: int) -> int:
+        return self.backing.disk_of(block_addr)
+
+    def locate(self, block_addr: int):
+        return self.backing.locate(block_addr)
+
+    def blocks_on_disk(self, disk_index: int) -> range:
+        return self.backing.blocks_on_disk(disk_index)
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def read_run(self, block_addr: int, nblocks: int = 1) -> Generator[Any, Any, Optional[bytes]]:
+        """Request out of the local NIC, data back out of the remote NIC."""
+        yield from self.local_nic.send(self.request_bytes)
+        data = yield from self.backing.read_run(block_addr, nblocks)
+        payload = nblocks * self.block_size
+        yield from self.remote_nic.send(payload)
+        self.remote_reads += 1
+        self.bytes_over_wire += self.request_bytes + payload
+        return data
+
+    def write_run(
+        self, block_addr: int, nblocks: int, data: Optional[bytes]
+    ) -> Generator[Any, Any, None]:
+        """Data out of the local NIC, acknowledgement back over the remote."""
+        payload = nblocks * self.block_size
+        yield from self.local_nic.send(self.request_bytes + payload)
+        yield from self.backing.write_run(block_addr, nblocks, data)
+        yield from self.remote_nic.send(self.request_bytes)
+        self.remote_writes += 1
+        self.bytes_over_wire += 2 * self.request_bytes + payload
+
+    def flush(self) -> Generator[Any, Any, None]:
+        """One control round trip, then drain the remote disk queues."""
+        yield from self.local_nic.send(self.request_bytes)
+        yield from self.backing.flush()
+        yield from self.remote_nic.send(self.request_bytes)
+        self.bytes_over_wire += 2 * self.request_bytes
+
+    def snapshot(self) -> dict:
+        return {
+            "remote_reads": self.remote_reads,
+            "remote_writes": self.remote_writes,
+            "bytes_over_wire": self.bytes_over_wire,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteVolume(backing={self.backing!r}, "
+            f"reads={self.remote_reads}, writes={self.remote_writes})"
+        )

@@ -54,6 +54,10 @@ class BaseFile:
         #: inode number of the directory this file was created in (when
         #: known); fsync uses it to make the new directory entry durable.
         self.parent_id: Optional[int] = None
+        #: directories whose entries for this file changed (rename source
+        #: and destination); fsync flushes them too and clears the set, so
+        #: a rename is durable once the renamed file is fsynced.
+        self.pending_sync_parents: set[int] = set()
 
     # -- identity ---------------------------------------------------------------
 

@@ -64,7 +64,12 @@ class Namespace:
             inode_number = yield from current.lookup(name)
             if inode_number is None:
                 raise FileNotFound(f"no such file or directory: {path!r}")
+            parent_id = current.file_id
             current = yield from self.fs.file_table.load(inode_number)
+            # Record the containing directory: fsync walks this linkage to
+            # flush the full ancestor dirent chain.
+            if current.parent_id is None:
+                current.parent_id = parent_id
             is_last = index == len(components) - 1
             if isinstance(current, SymlinkFile) and (follow_symlinks or not is_last):
                 self.symlinks_followed += 1

@@ -13,7 +13,7 @@ the same slot.
 from repro.core.storage.layout import StorageLayout
 from repro.core.storage.lfs import LogStructuredLayout
 from repro.core.storage.ffs import FfsLikeLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume, Volume
 from repro.core.storage.cleaner import CostBenefitCleaner, GreedyCleaner, SegmentCleaner
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "LogStructuredLayout",
     "FfsLikeLayout",
     "Volume",
+    "LocalVolume",
     "SegmentCleaner",
     "GreedyCleaner",
     "CostBenefitCleaner",

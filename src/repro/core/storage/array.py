@@ -194,13 +194,14 @@ def make_placement_policy(
 # --------------------------------------------------------------------------- volume set
 
 
-class VolumeSet:
+class VolumeSet(Volume):
     """N independent volumes behind one handle.
 
-    Quacks like a :class:`~repro.core.storage.volume.Volume` for the
-    operations the file-system layer performs on "the volume" as a whole
-    (``block_size``, ``total_blocks``, ``flush``); everything block-address
-    specific goes through the per-volume sub-layouts instead.
+    Implements the :class:`~repro.core.storage.volume.Volume` protocol for
+    the operations the file-system layer performs on "the volume" as a
+    whole (``block_size``, ``total_blocks``, ``flush``); everything
+    block-address specific goes through the per-volume sub-layouts instead,
+    so raw block I/O on the set itself is a usage error.
     """
 
     def __init__(self, volumes: Sequence[Volume]):
@@ -224,6 +225,20 @@ class VolumeSet:
         """Wait for every disk queue of every volume to drain."""
         for volume in self.volumes:
             yield from volume.flush()
+
+    def read_run(self, block_addr: int, nblocks: int = 1) -> Generator[Any, Any, None]:
+        raise StorageError(
+            "a VolumeSet has no flat address space; block I/O goes through "
+            "the per-volume sub-layouts"
+        )
+        yield  # pragma: no cover - generator shape
+
+    def write_run(self, block_addr: int, nblocks: int, data) -> Generator[Any, Any, None]:
+        raise StorageError(
+            "a VolumeSet has no flat address space; block I/O goes through "
+            "the per-volume sub-layouts"
+        )
+        yield  # pragma: no cover - generator shape
 
     def __len__(self) -> int:
         return len(self.volumes)
@@ -436,7 +451,16 @@ class ShardedCache:
         return self.shard_for(file_id, block_no).lookup(file_id, block_no)
 
     def allocate(self, file_id: int, block_no: int) -> Generator[Any, Any, CacheBlock]:
-        return (yield from self.shard_for(file_id, block_no).allocate(file_id, block_no))
+        while True:
+            shard = self.shard_for(file_id, block_no)
+            block = yield from shard.allocate(file_id, block_no)
+            if self.shard_for(file_id, block_no) is shard:
+                return block
+            # The block's routing changed while the allocation waited for
+            # space (an online migration flipped the file's home volume).
+            # The slot landed in a shard nothing will ever route to again:
+            # release it and allocate in the right shard instead.
+            shard.invalidate(block)
 
     def touch(self, block: CacheBlock) -> None:
         self._shard_of_block(block).touch(block)
@@ -589,7 +613,7 @@ class RoutedLayout(StorageLayout):
             raise ConfigurationError("placement volume count must match the sub-layouts")
         super().__init__(
             scheduler,
-            volume_set,  # type: ignore[arg-type]  # quacks like a Volume
+            volume_set,
             block_size,
             simulated=sublayouts[0].simulated,
             seed=seed,
@@ -688,6 +712,11 @@ class RoutedLayout(StorageLayout):
         # them through the router first, then retire the inode on its home.
         yield from self.release_blocks(inode, 0)
         yield from self.sub_for_file(inode.number).free_inode(inode)
+        # A dead file no longer needs a migration routing entry (the
+        # cluster placement tier keeps one per displaced file).
+        forget = getattr(self.placement, "forget", None)
+        if forget is not None:
+            forget(inode.number)
 
     # ------------------------------------------------------------------ data blocks
 

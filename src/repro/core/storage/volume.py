@@ -1,26 +1,98 @@
-"""A volume: one logical block address space over one or more disk drivers.
+"""The volume protocol and the local disk-concatenation volume.
 
-The traced Sprite server had fourteen file systems over ten disks; the
-framework models a machine as a set of disks (each with its own driver and
-queue) behind a volume that concatenates them into a single block address
-space.  The storage layout decides *where* blocks go; the volume translates
-block addresses to (driver, sector) and keeps runs of blocks on a single
-disk so that one logical write is one disk operation.
+A *volume* is one logical block address space.  The storage layouts issue
+their block I/O against this interface and nothing else, which is what lets
+the same layout run over very different storage:
+
+* :class:`LocalVolume` — the classic shape: one or more disk drivers
+  concatenated into a single address space (the traced Sprite server had
+  fourteen file systems over ten disks).
+* :class:`~repro.core.storage.array.VolumeSet` — N independent volumes
+  behind one handle for the multi-volume array (block-address specific
+  operations go through the per-volume sub-layouts instead).
+* :class:`~repro.core.cluster.remote.RemoteVolume` — a volume on another
+  machine: the same block I/O, but every operation crosses a simulated
+  network link first.
+
+The storage layout decides *where* blocks go; the volume translates block
+addresses to storage and keeps runs of blocks on a single device so that
+one logical write is one device operation.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from typing import Any, Generator, Optional, Sequence
 
 from repro.core.driver import DiskDriver, IORequest
 from repro.errors import DiskAddressError, StorageError
 from repro.units import DEFAULT_BLOCK_SIZE, SECTOR_SIZE
 
-__all__ = ["Volume"]
+__all__ = ["Volume", "LocalVolume"]
 
 
-class Volume:
-    """Block-granularity access to a set of disks."""
+class Volume(ABC):
+    """The volume protocol: block-granularity access to one address space.
+
+    Everything above the drivers — layouts, the :class:`~repro.core.storage.array.RoutedLayout`
+    router, the file system's sync path — consumes this interface only.
+    Concrete volumes say where the blocks actually live: local disks
+    (:class:`LocalVolume`), another volume across a simulated network
+    (:class:`~repro.core.cluster.remote.RemoteVolume`), or a set of
+    volumes (:class:`~repro.core.storage.array.VolumeSet`).
+    """
+
+    #: file-system block size in bytes (set by the concrete volume).
+    block_size: int
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def total_blocks(self) -> int:
+        """Number of blocks in this address space."""
+
+    @property
+    @abstractmethod
+    def num_disks(self) -> int:
+        """Number of physical disks ultimately backing this volume."""
+
+    # -- I/O -------------------------------------------------------------------
+
+    @abstractmethod
+    def read_run(self, block_addr: int, nblocks: int = 1) -> Generator[Any, Any, Optional[bytes]]:
+        """Read ``nblocks`` contiguous blocks.
+
+        Returns the bytes read, or ``None`` when the underlying driver moves
+        no real data (simulated disks).
+        """
+
+    @abstractmethod
+    def write_run(
+        self, block_addr: int, nblocks: int, data: Optional[bytes]
+    ) -> Generator[Any, Any, None]:
+        """Write ``nblocks`` contiguous blocks."""
+
+    @abstractmethod
+    def flush(self) -> Generator[Any, Any, None]:
+        """Wait for every outstanding device operation to complete."""
+
+    # -- single-block conveniences ---------------------------------------------
+
+    def read_block(self, block_addr: int) -> Generator[Any, Any, Optional[bytes]]:
+        return (yield from self.read_run(block_addr, 1))
+
+    def write_block(self, block_addr: int, data: Optional[bytes]) -> Generator[Any, Any, None]:
+        yield from self.write_run(block_addr, 1, data)
+
+
+class LocalVolume(Volume):
+    """A volume concatenating local disk drivers into one address space.
+
+    Each disk has its own driver and queue; the volume translates block
+    addresses to (driver, sector) and keeps runs of blocks on a single disk
+    so that one logical write is one disk operation.
+    """
 
     def __init__(self, drivers: Sequence[DiskDriver], block_size: int = DEFAULT_BLOCK_SIZE):
         if not drivers:
@@ -38,9 +110,13 @@ class Volume:
         for nblocks in self._disk_blocks:
             self._disk_starts.append(start)
             start += nblocks
-        self.total_blocks = start
+        self._total_blocks = start
 
     # -- address translation -------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        return self._total_blocks
 
     def disk_of(self, block_addr: int) -> int:
         """Index of the disk holding ``block_addr``."""
@@ -68,11 +144,7 @@ class Volume:
     # -- I/O -------------------------------------------------------------------
 
     def read_run(self, block_addr: int, nblocks: int = 1) -> Generator[Any, Any, Optional[bytes]]:
-        """Read ``nblocks`` contiguous blocks (must lie on one disk).
-
-        Returns the bytes read, or ``None`` when the underlying driver moves
-        no real data (simulated disks).
-        """
+        """Read ``nblocks`` contiguous blocks (must lie on one disk)."""
         self._check(block_addr, nblocks)
         self._check_single_disk(block_addr, nblocks)
         driver, sector = self.locate(block_addr)
@@ -93,12 +165,6 @@ class Volume:
             )
         driver, sector = self.locate(block_addr)
         yield from driver.write(sector, nblocks * self.sectors_per_block, data)
-
-    def read_block(self, block_addr: int) -> Generator[Any, Any, Optional[bytes]]:
-        return (yield from self.read_run(block_addr, 1))
-
-    def write_block(self, block_addr: int, data: Optional[bytes]) -> Generator[Any, Any, None]:
-        yield from self.write_run(block_addr, 1, data)
 
     def flush(self) -> Generator[Any, Any, None]:
         """Wait for every disk queue to drain."""
@@ -121,4 +187,4 @@ class Volume:
             )
 
     def __repr__(self) -> str:
-        return f"Volume(disks={len(self.drivers)}, blocks={self.total_blocks})"
+        return f"LocalVolume(disks={len(self.drivers)}, blocks={self.total_blocks})"

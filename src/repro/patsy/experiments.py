@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.assembly.spec import StackSpec
+from repro.assembly.spec import StackSpec, spec_diff
 from repro.config import (
     FlushConfig,
     HostConfig,
@@ -45,6 +45,7 @@ __all__ = [
     "run_delayed_write_experiment",
     "run_policy_comparison",
     "mean_latency_table",
+    "format_spec_delta",
 ]
 
 #: the four policies of Section 5.1, in the order the paper discusses them.
@@ -113,6 +114,12 @@ class DelayedWriteExperiment:
         """The world-independent stack this experiment runs on."""
         return StackSpec.from_config(self.config())
 
+    def spec_delta(self, other: "DelayedWriteExperiment") -> dict:
+        """The manifest delta between this experiment's stack and another's
+        (see :func:`repro.assembly.spec.spec_diff`): exactly the knobs that
+        separate the two runs, nothing else."""
+        return spec_diff(self.spec(), other.spec())
+
     def trace(self) -> list[TraceRecord]:
         return sprite_like_trace(self.trace_name, scale=self.trace_scale, seed=self.seed)
 
@@ -176,6 +183,26 @@ def experiment_config(
             report_interval=config.report_interval,
         )
     return config
+
+
+def format_spec_delta(delta: dict, indent: str = "  ") -> str:
+    """Render a :func:`repro.assembly.spec.spec_diff` result for a log.
+
+    One line per differing field — ``section.field: a -> b`` — so an
+    experiment can print what separates two manifests instead of dumping
+    two full specs.  Returns ``"(identical stacks)"`` for an empty delta.
+    """
+    if not delta:
+        return f"{indent}(identical stacks)"
+    lines = []
+    for section, value in sorted(delta.items()):
+        if isinstance(value, dict):
+            for field_name, (a, b) in sorted(value.items()):
+                lines.append(f"{indent}{section}.{field_name}: {a!r} -> {b!r}")
+        else:
+            a, b = value
+            lines.append(f"{indent}{section}: {a!r} -> {b!r}")
+    return "\n".join(lines)
 
 
 def run_delayed_write_experiment(

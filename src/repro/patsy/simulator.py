@@ -175,6 +175,9 @@ class SimulationResult:
     #: empty — and absent from :meth:`summary` — for single-volume runs, so
     #: legacy summaries stay byte-identical).
     volume_stats: Dict[str, Any] = field(default_factory=dict)
+    #: per-node/per-NIC breakdown plus rebalancer counters (multi-node
+    #: cluster runs only; empty otherwise).
+    cluster_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
@@ -252,6 +255,8 @@ class PatsySimulator:
         self.flush_policy = stack.flush_policy
         self.cleaner = stack.cleaner
         self.placement = stack.placement
+        self.cluster = stack.cluster
+        self.rebalancer = stack.cluster.rebalancer if stack.cluster is not None else None
         self.fs = stack.fs
         self.client = stack.client
 
@@ -537,6 +542,7 @@ class PatsySimulator:
             blocks_written_to_disk=self.cache.stats.blocks_written,
             stream_stats=dict(self._stream_stats),
             volume_stats=self.collect_volume_stats(),
+            cluster_stats=self.collect_cluster_stats(),
         )
         return result
 
@@ -544,8 +550,10 @@ class PatsySimulator:
         """Per-volume cache/layout/disk/flush breakdown plus an array-level
         rollup.  Empty for single-volume (non-array) configurations."""
         array = self.config.array
-        if array is None:
+        if array is None and self.config.cluster is None:
             return {}
+        spec = self.stack.spec
+        num_volumes = spec.num_volumes
         assert isinstance(self.layout, RoutedLayout)
         assert isinstance(self.cache, ShardedCache)
         elapsed = max(self.scheduler.now, 1e-9)
@@ -556,12 +564,12 @@ class PatsySimulator:
         flush_children: List[dict] = []
         if isinstance(self.flush_policy, ShardedFlushPolicy):
             children = self.flush_policy.shard_stats()
-            if len(children) == array.volumes:
+            if len(children) == num_volumes:
                 flush_children = children
-        for v in range(array.volumes):
+        for v in range(num_volumes):
             sub = self.layout.sublayouts[v]
             disks = {}
-            for index in array.disks_of_volume(v):
+            for index in spec.disks_of_volume(v):
                 driver = self.drivers[index]
                 disks[driver.name] = {
                     "operations": driver.stats.operations,
@@ -580,17 +588,17 @@ class PatsySimulator:
                     "free_blocks": sub.free_blocks,
                 },
             }
-            if len(self.cache.shards) == array.volumes:
+            if len(self.cache.shards) == num_volumes:
                 entry["cache"] = self.cache.shards[v].stats.snapshot()
             if v < len(flush_children):
                 entry["flush"] = flush_children[v]
             per_volume[f"vol{v}"] = entry
         rollup: Dict[str, Any] = {
-            "volumes": array.volumes,
-            "disks": array.total_disks,
-            "buses": array.buses,
-            "placement": array.placement,
-            "shard": array.shard,
+            "volumes": num_volumes,
+            "disks": spec.num_disks,
+            "buses": spec.num_buses,
+            "placement": spec.effective_array.placement,
+            "shard": spec.effective_array.shard,
             "cache_hit_rate": self.cache.stats.hit_rate,
             "blocks_written": self.cache.stats.blocks_written,
             "disk_operations": sum(d.stats.operations for d in self.drivers),
@@ -604,6 +612,68 @@ class PatsySimulator:
             rollup["governor_wakeups"] = self.flush_policy.governor_wakeups
             rollup["governor_flushes"] = self.flush_policy.governor_flushes
         return {"per_volume": per_volume, "rollup": rollup}
+
+    def collect_cluster_stats(self) -> Dict[str, Any]:
+        """Per-node and per-NIC breakdown plus rebalancer counters.
+
+        Empty for single-machine runs (including one-node clusters, which
+        build no network at all)."""
+        topology = self.cluster
+        if topology is None or topology.num_nodes <= 1:
+            return {}
+        elapsed = max(self.scheduler.now, 1e-9)
+        per_node: Dict[str, Any] = {}
+        for node in topology.nodes:
+            disk_ops = sum(d.stats.operations for d in node.drivers)
+            entry: Dict[str, Any] = {
+                "volumes": list(node.volume_indices),
+                "disk_operations": disk_ops,
+                "mean_disk_utilisation": (
+                    sum(d.stats.utilisation(elapsed) for d in node.drivers)
+                    / max(len(node.drivers), 1)
+                ),
+                "blocks_written": sum(
+                    sub.stats.blocks_written for sub in node.sublayouts
+                ),
+                "free_blocks": sum(sub.free_blocks for sub in node.sublayouts),
+            }
+            if node.cache_shards:
+                lookups = sum(s.stats.lookups for s in node.cache_shards)
+                hits = sum(s.stats.hits for s in node.cache_shards)
+                entry["cache_hit_rate"] = hits / lookups if lookups else 0.0
+            if node.nic is not None:
+                nic = node.nic
+                entry["nic"] = dict(
+                    nic.snapshot(), utilisation=nic.utilisation(elapsed)
+                )
+            remote = [
+                topology.remote_volumes[v].snapshot()
+                for v in node.volume_indices
+                if v in topology.remote_volumes
+            ]
+            if remote:
+                entry["remote_io"] = {
+                    key: sum(r[key] for r in remote) for key in remote[0]
+                }
+            per_node[f"node{node.index}"] = entry
+        stats: Dict[str, Any] = {
+            "nodes": topology.num_nodes,
+            "placement": topology.placement.snapshot(),
+            "per_node": per_node,
+        }
+        if topology.rebalancer is not None:
+            stats["rebalancer"] = topology.rebalancer.snapshot()
+            stats["migration_schedule"] = [
+                {
+                    "time": m.time,
+                    "file_id": m.file_id,
+                    "source": m.source,
+                    "target": m.target,
+                    "blocks": m.blocks,
+                }
+                for m in topology.rebalancer.schedule
+            ]
+        return stats
 
     def collect_statistics(self) -> Dict[str, Any]:
         """All plug-in reports (without building a full result object)."""

@@ -16,7 +16,7 @@ from repro.core.datamover import DataMover
 from repro.core.filesystem import FileSystem
 from repro.core.scheduler import FifoSchedulingPolicy, Scheduler
 from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.pfs.diskfile import MemoryBackedDiskDriver
 from repro.pfs.filesystem import PegasusFileSystem
 from repro.units import KB, MB
@@ -49,7 +49,7 @@ def make_memory_filesystem(
 ) -> FileSystem:
     """A small real (byte-moving) file system on a memory disk."""
     driver = MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB)
-    volume = Volume([driver], block_size=4 * KB)
+    volume = LocalVolume([driver], block_size=4 * KB)
     layout = LogStructuredLayout(
         scheduler, volume, block_size=4 * KB, segment_blocks=segment_blocks, simulated=False
     )

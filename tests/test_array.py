@@ -32,7 +32,7 @@ from repro.core.storage.array import (
     make_placement_policy,
 )
 from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.errors import ConfigurationError
 from repro.patsy.simulator import PatsySimulator
 from repro.patsy.workload import WorkloadProfile, generate_workload
@@ -127,7 +127,7 @@ def test_make_placement_policy_factory():
 
 def test_volume_set_aggregates(scheduler):
     volumes = [
-        Volume([MemoryBackedDiskDriver(scheduler, size_bytes=2 * MB)], block_size=4 * KB)
+        LocalVolume([MemoryBackedDiskDriver(scheduler, size_bytes=2 * MB)], block_size=4 * KB)
         for _ in range(3)
     ]
     vset = VolumeSet(volumes)
@@ -240,7 +240,7 @@ def test_sharded_cache_single_shard_is_a_passthrough(scheduler):
 
 def make_routed(scheduler, volumes=2, placement=None, disk_mb=2, segment_blocks=8):
     vols = [
-        Volume([MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB)], block_size=4 * KB)
+        LocalVolume([MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB)], block_size=4 * KB)
         for _ in range(volumes)
     ]
     subs = [
@@ -349,7 +349,7 @@ def test_ffs_sublayout_keeps_full_slot_capacity_under_strided_numbering(schedule
     table slots so the member keeps its full inode capacity."""
     from repro.core.storage.ffs import FfsLikeLayout
 
-    volume = Volume(
+    volume = LocalVolume(
         [MemoryBackedDiskDriver(scheduler, size_bytes=2 * MB)], block_size=4 * KB
     )
     layout = FfsLikeLayout(
@@ -378,7 +378,7 @@ def test_routed_layout_rejects_mismatched_ffs_progression(scheduler):
     from repro.core.storage.ffs import FfsLikeLayout
 
     volumes = [
-        Volume([MemoryBackedDiskDriver(scheduler, size_bytes=2 * MB)], block_size=4 * KB)
+        LocalVolume([MemoryBackedDiskDriver(scheduler, size_bytes=2 * MB)], block_size=4 * KB)
         for _ in range(2)
     ]
     subs = [

@@ -356,3 +356,55 @@ def test_full_hardware_figure_benchmark_replays_on_the_array():
     assert result.errors == 0
     assert result.volume_stats  # the run really went through the array
     assert len(result.volume_stats["per_volume"]) == 5
+
+
+# --------------------------------------------------------------------------- spec diffing
+
+
+def test_spec_diff_empty_for_identical_specs():
+    from repro.assembly import spec_diff
+
+    a = StackSpec.from_config(small_test_config())
+    assert spec_diff(a, StackSpec.from_config(small_test_config())) == {}
+
+
+def test_spec_diff_reports_differing_fields_only():
+    from repro.assembly import spec_diff
+
+    a = StackSpec.from_config(small_test_config())
+    b_config = small_test_config(seed=7)
+    b = StackSpec.from_config(b_config).with_array(
+        ArrayConfig(volumes=2, buses=1, disks_per_bus=2)
+    )
+    from dataclasses import replace
+
+    b = replace(b, cache=replace(b.cache, replacement="arc"))
+    delta = spec_diff(a, b)
+    assert set(delta) == {"cache", "array", "seed"}
+    assert delta["cache"] == {"replacement": ("lru", "arc")}
+    assert delta["seed"] == (0, 7)
+    # A section present on one side only comes back whole (as dicts).
+    a_side, b_side = delta["array"]
+    assert a_side is None and b_side["volumes"] == 2
+    # Untouched sections never appear.
+    assert "flush" not in delta and "layout" not in delta and "host" not in delta
+
+
+def test_spec_diff_cluster_section_and_experiment_delta():
+    from repro.assembly import spec_diff
+    from repro.config import ClusterConfig
+    from repro.patsy.experiments import format_spec_delta
+
+    a = StackSpec.from_config(small_test_config())
+    b = a.with_cluster(ClusterConfig(nodes=3))
+    delta = spec_diff(a, b)
+    assert "cluster" in delta and delta["cluster"][1]["nodes"] == 3
+    # Experiments print manifest deltas through the same helper.
+    base = DelayedWriteExperiment(trace_name="1a", policy_name="ups")
+    arrayed = base.with_array(volumes=5)
+    exp_delta = base.spec_delta(arrayed)
+    assert set(exp_delta) <= {"cache", "flush", "host", "array", "cluster"}
+    assert "array" in exp_delta
+    text = format_spec_delta(exp_delta)
+    assert "array" in text
+    assert format_spec_delta({}) == "  (identical stacks)"

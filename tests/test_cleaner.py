@@ -11,7 +11,7 @@ from repro.core.storage.cleaner import (
     make_cleaner,
 )
 from repro.core.storage.lfs import LogStructuredLayout, SegmentInfo
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.errors import ConfigurationError
 from repro.pfs.diskfile import MemoryBackedDiskDriver
 from repro.units import KB, MB
@@ -20,7 +20,7 @@ from tests.conftest import run
 
 def make_layout(scheduler, disk_mb=4, segment_blocks=8):
     driver = MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB)
-    volume = Volume([driver], block_size=4 * KB)
+    volume = LocalVolume([driver], block_size=4 * KB)
     layout = LogStructuredLayout(
         scheduler, volume, block_size=4 * KB, segment_blocks=segment_blocks, simulated=False
     )

@@ -6,7 +6,7 @@ from repro.core.blocks import CacheBlock
 from repro.core.inode import FileKind
 from repro.core.storage.allocator import BlockAllocator
 from repro.core.storage.ffs import FfsLikeLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.errors import NoSpaceLeft, StorageError
 from repro.pfs.diskfile import MemoryBackedDiskDriver
 from repro.units import KB, MB
@@ -15,7 +15,7 @@ from tests.conftest import run
 
 def make_layout(scheduler, simulated=False, disk_mb=8, max_inodes=32):
     driver = MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB)
-    volume = Volume([driver], block_size=4 * KB)
+    volume = LocalVolume([driver], block_size=4 * KB)
     layout = FfsLikeLayout(
         scheduler, volume, block_size=4 * KB, max_inodes=max_inodes, simulated=simulated
     )

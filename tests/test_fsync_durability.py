@@ -1,0 +1,116 @@
+"""fsync durability scope: ancestor dirent chains and rename durability.
+
+A file is only reachable through its chain of directory entries, so fsync
+must flush more than the file's own blocks: the *full* ancestor chain up to
+the root, and — after a rename — both the source and the destination
+directory.  These tests pin that scope on a real (byte-moving) memory file
+system so dirty state is observable block by block.
+"""
+
+import pytest
+
+from repro.core.client import AbstractClientInterface
+from tests.conftest import run
+
+
+@pytest.fixture
+def client(memory_fs):
+    return AbstractClientInterface(memory_fs, auto_materialize=False)
+
+
+def dirty_file_ids(fs):
+    return {block.block_id.file_id for block in fs.cache._dirty.values()}
+
+
+def test_fsync_flushes_full_ancestor_chain(scheduler, client, memory_fs):
+    def body():
+        yield from client.mkdir("/a")
+        yield from client.mkdir("/a/b")
+        yield from client.mkdir("/a/b/c")
+        handle = yield from client.create("/a/b/c/leaf.txt")
+        yield from client.write(handle, 0, b"x" * 4096)
+        ids = {}
+        for path in ("/a", "/a/b", "/a/b/c"):
+            directory = yield from client.lookup(path)
+            ids[path] = directory.file_id
+        yield from client.fsync(handle)
+        yield from client.close(handle)
+        return ids
+
+    ids = run(scheduler, body)
+    # Every ancestor's dirent blocks reached disk, not just the immediate
+    # parent's, and their inode metadata is no longer pending.
+    dirty = dirty_file_ids(memory_fs)
+    for path, file_id in ids.items():
+        assert file_id not in dirty, f"{path} still has dirty dirent blocks"
+        assert file_id not in memory_fs._dirty_inodes, f"{path} inode not synced"
+    # The root's dirent for /a is durable too.
+    assert memory_fs.root_directory().file_id not in dirty
+
+
+def test_fsync_without_rename_leaves_unrelated_dirs_dirty(scheduler, client, memory_fs):
+    """The chain walk flushes ancestors, not the whole namespace."""
+
+    def body():
+        yield from client.mkdir("/hot")
+        yield from client.mkdir("/cold")
+        bystander = yield from client.create("/cold/bystander")
+        yield from client.write(bystander, 0, b"b" * 4096)
+        handle = yield from client.create("/hot/leaf")
+        yield from client.write(handle, 0, b"h" * 4096)
+        yield from client.fsync(handle)
+        cold = yield from client.lookup("/cold")
+        leaf = yield from client.lookup("/hot/leaf")
+        yield from client.close(handle)
+        yield from client.close(bystander)
+        return cold.file_id, leaf.file_id
+
+    cold_id, leaf_id = run(scheduler, body)
+    dirty = dirty_file_ids(memory_fs)
+    assert leaf_id not in dirty
+    # The unrelated file's data was not dragged to disk by the fsync.
+    assert dirty, "expected the bystander's blocks to still be dirty"
+    assert cold_id not in {leaf_id} and leaf_id not in dirty
+
+
+def test_fsync_after_rename_flushes_both_directories(scheduler, client, memory_fs):
+    def body():
+        yield from client.mkdir("/src")
+        yield from client.mkdir("/dst")
+        handle = yield from client.create("/src/file")
+        yield from client.write(handle, 0, b"r" * 4096)
+        yield from client.fsync(handle)  # everything durable so far
+        yield from client.rename("/src/file", "/dst/renamed")
+        src = yield from client.lookup("/src")
+        dst = yield from client.lookup("/dst")
+        file = yield from client.lookup("/dst/renamed")
+        # The rename dirtied both directories and recorded them on the file.
+        assert {src.file_id, dst.file_id} <= file.pending_sync_parents
+        assert file.parent_id == dst.file_id
+        yield from client.fsync(handle)
+        assert not file.pending_sync_parents  # consumed by the fsync
+        yield from client.close(handle)
+        return src.file_id, dst.file_id
+
+    src_id, dst_id = run(scheduler, body)
+    dirty = dirty_file_ids(memory_fs)
+    assert src_id not in dirty, "rename source directory not durable after fsync"
+    assert dst_id not in dirty, "rename destination directory not durable after fsync"
+    assert src_id not in memory_fs._dirty_inodes
+    assert dst_id not in memory_fs._dirty_inodes
+
+
+def test_rename_survives_remount_after_fsync(pfs):
+    """End to end on PFS: fsync after rename makes the new name (and the
+    removal of the old one) durable across an unmount/remount."""
+    pfs.makedirs("/one")
+    pfs.makedirs("/two")
+    pfs.write_file("/one/report.txt", b"final" * 100)
+    pfs.rename("/one/report.txt", "/two/report.txt")
+    handle = pfs.open("/two/report.txt")
+    pfs.fsync(handle)
+    pfs.close(handle)
+    pfs.unmount()
+    pfs.mount()
+    assert pfs.read_file("/two/report.txt") == b"final" * 100
+    assert "report.txt" not in pfs.listdir("/one")

@@ -6,7 +6,7 @@ from repro.core.blocks import CacheBlock
 from repro.core.inode import FileKind, ROOT_INODE_NUMBER
 from repro.core.storage.cleaner import CostBenefitCleaner, GreedyCleaner
 from repro.core.storage.lfs import LogStructuredLayout
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.errors import StorageError
 from repro.pfs.diskfile import MemoryBackedDiskDriver
 from repro.units import KB, MB
@@ -18,7 +18,7 @@ def make_layout(scheduler, simulated=False, disk_mb=8, segment_blocks=8, disks=1
         MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB, name=f"d{i}")
         for i in range(disks)
     ]
-    volume = Volume(drivers, block_size=4 * KB)
+    volume = LocalVolume(drivers, block_size=4 * KB)
     layout = LogStructuredLayout(
         scheduler, volume, block_size=4 * KB, segment_blocks=segment_blocks, simulated=simulated
     )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.storage.volume import Volume
+from repro.core.storage.volume import LocalVolume
 from repro.errors import DiskAddressError, StorageError
 from repro.pfs.diskfile import MemoryBackedDiskDriver
 from repro.units import KB, MB
@@ -14,7 +14,7 @@ def make_volume(scheduler, disks=2, disk_mb=2):
         MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB, name=f"m{i}")
         for i in range(disks)
     ]
-    return Volume(drivers, block_size=4 * KB)
+    return LocalVolume(drivers, block_size=4 * KB)
 
 
 def test_total_blocks(scheduler):
@@ -96,7 +96,7 @@ def test_bad_payload_length_rejected(scheduler):
 
 def test_volume_needs_drivers():
     with pytest.raises(StorageError):
-        Volume([], block_size=4 * KB)
+        LocalVolume([], block_size=4 * KB)
 
 
 def test_flush(scheduler):
