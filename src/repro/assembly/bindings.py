@@ -103,15 +103,46 @@ class Binding:
             for node in range(cluster.nodes)
         ]
 
+    def make_metadata_device(self, spec: StackSpec, scheduler: Scheduler) -> Any:
+        """The device the durable metadata tier (WAL + manifest) lives on.
+
+        Only consulted when ``spec.cluster.metadata`` is enabled; each
+        binding picks its world's back-end.
+        """
+        raise NotImplementedError
+
 
 class SimulatedBinding(Binding):
-    """PATSY's helpers: virtual time, simulated buses/disks, no data."""
+    """PATSY's helpers: virtual time, simulated buses/disks, no data.
+
+    ``metadata_store`` optionally carries a
+    :class:`~repro.core.metadata.device.DurableStore` between stack builds —
+    the crash-recovery harness's "journal disk that survives the reboot".
+    The store actually used is published back on the binding after
+    :meth:`make_metadata_device` runs.
+    """
 
     simulated = True
     auto_materialize = True
 
+    def __init__(self, metadata_store: Optional[Any] = None):
+        self.metadata_store = metadata_store
+
     def make_scheduler(self, seed: int) -> Scheduler:
         return Scheduler(clock=VirtualClock(), seed=seed)
+
+    def make_metadata_device(self, spec: StackSpec, scheduler: Scheduler) -> Any:
+        from repro.core.metadata.device import MemoryMetadataDevice
+
+        cluster = spec.cluster
+        device = MemoryMetadataDevice(
+            scheduler,
+            store=self.metadata_store,
+            latency=cluster.metadata_latency if cluster else 0.0,
+            bandwidth=cluster.metadata_bandwidth if cluster else 0.0,
+        )
+        self.metadata_store = device.store
+        return device
 
     def build_hardware(self, spec: StackSpec, scheduler: Scheduler) -> Hardware:
         # Imported here so the assembly layer does not hard-depend on the
@@ -176,7 +207,9 @@ class ClusterBinding(SimulatedBinding):
         self,
         bandwidth_overrides: Optional[dict] = None,
         latency_overrides: Optional[dict] = None,
+        metadata_store: Optional[Any] = None,
     ):
+        super().__init__(metadata_store=metadata_store)
         self.bandwidth_overrides = dict(bandwidth_overrides or {})
         self.latency_overrides = dict(latency_overrides or {})
 
@@ -215,14 +248,27 @@ class OnlineBinding(Binding):
         backing: Optional[Union[str, Path]] = None,
         size_bytes: int = 64 * MB,
         real_time: bool = False,
+        metadata_store: Optional[Any] = None,
     ):
         self.backing = None if backing is None else Path(backing)
         self.size_bytes = size_bytes
         self.real_time = real_time
+        #: DurableStore for the metadata tier when running in memory (file
+        #: backing persists metadata in real files next to the disk image).
+        self.metadata_store = metadata_store
 
     def make_scheduler(self, seed: int) -> Scheduler:
         clock = RealClock() if self.real_time else VirtualClock()
         return Scheduler(clock=clock, seed=seed)
+
+    def make_metadata_device(self, spec: StackSpec, scheduler: Scheduler) -> Any:
+        from repro.core.metadata.device import FileMetadataDevice, MemoryMetadataDevice
+
+        if self.backing is None:
+            device = MemoryMetadataDevice(scheduler, store=self.metadata_store)
+            self.metadata_store = device.store
+            return device
+        return FileMetadataDevice(scheduler, Path(f"{self.backing}.meta"))
 
     def build_hardware(self, spec: StackSpec, scheduler: Scheduler) -> Hardware:
         from repro.pfs.diskfile import FileBackedDiskDriver, MemoryBackedDiskDriver

@@ -98,6 +98,10 @@ class StorageStack:
     placement: Optional[PlacementPolicy]
     #: the cluster topology (multi-machine stacks only).
     cluster: Optional[ClusterTopology] = None
+    #: the durable metadata tier (cluster stacks with ``metadata=True``).
+    metadata: Optional[Any] = None
+    #: crash-injection hooks threaded through the stack (tests only).
+    crashpoints: Optional[Any] = None
     fs: FileSystem = field(init=False)
     client: AbstractClientInterface = field(init=False)
 
@@ -109,6 +113,7 @@ class StorageStack:
             self.datamover,
             flush_policy=self.flush_policy,
             cleaner=self.cleaner,
+            metadata=self.metadata,
         )
         self.client = AbstractClientInterface(
             self.fs, auto_materialize=self.binding.auto_materialize
@@ -123,7 +128,13 @@ class StorageStack:
             and cluster_config.nodes > 1
             and cluster_config.rebalance
         ):
-            rebalancer = ClusterRebalancer(self.fs, self.cluster.placement, cluster_config)
+            rebalancer = ClusterRebalancer(
+                self.fs,
+                self.cluster.placement,
+                cluster_config,
+                metadata=self.metadata,
+                crashpoints=self.crashpoints,
+            )
             self.cluster.rebalancer = rebalancer
             rebalancer.start()
 
@@ -170,15 +181,20 @@ def build_stack(
     spec: StackSpec,
     binding: Binding,
     scheduler: Optional[Scheduler] = None,
+    crashpoints: Optional[Any] = None,
 ) -> StorageStack:
     """Assemble a full storage stack from a spec and a binding.
 
     ``scheduler`` lets a caller share an existing scheduler (e.g. to embed
     a stack in a larger simulation); by default the binding creates the
     world's own (virtual- or real-clocked) scheduler from ``spec.seed``.
+    ``crashpoints`` threads crash-injection hooks through the metadata tier
+    and the rebalancer (the recovery test harness).
     """
     if scheduler is None:
         scheduler = binding.make_scheduler(spec.seed)
+    if crashpoints is not None:
+        crashpoints.bind(scheduler)
     hardware: Hardware = binding.build_hardware(spec, scheduler)
     drivers = hardware.drivers
 
@@ -189,6 +205,7 @@ def build_stack(
     placement: Optional[PlacementPolicy] = None
     cleaner: Optional[Union[CleanerDaemon, CleanerSet]] = None
     topology: Optional[ClusterTopology] = None
+    metadata: Optional[Any] = None
 
     if array is None and cluster is None:
         volume: Volume = LocalVolume(drivers, block_size=spec.cache.block_size)
@@ -317,6 +334,42 @@ def build_stack(
                 placement=placement,
                 remote_volumes=remote_volumes,
             )
+            if cluster.metadata:
+                # Imported here for their registry side effects ("wal" and
+                # "manifest" kinds) and to keep the metadata package out of
+                # non-cluster assemblies entirely.
+                import repro.core.metadata.manifest  # noqa: F401
+                import repro.core.metadata.wal  # noqa: F401
+                from repro.core.metadata.tier import MetadataTier
+
+                device = binding.make_metadata_device(spec, scheduler)
+                wal = registry.create(
+                    "wal",
+                    cluster.wal_kind,
+                    scheduler,
+                    device,
+                    commit_records=cluster.wal_commit_records,
+                    commit_bytes=cluster.wal_commit_bytes,
+                    commit_interval=cluster.wal_commit_interval,
+                    group_commit=cluster.wal_group_commit,
+                    crashpoints=crashpoints,
+                )
+                manifest_store = registry.create(
+                    "manifest",
+                    cluster.manifest_kind,
+                    scheduler,
+                    device,
+                    crashpoints=crashpoints,
+                )
+                metadata = MetadataTier(
+                    scheduler,
+                    placement,
+                    wal,
+                    manifest_store,
+                    cluster,
+                    crashpoints=crashpoints,
+                )
+                topology.metadata = metadata
 
     return StorageStack(
         spec=spec,
@@ -333,4 +386,6 @@ def build_stack(
         cleaner=cleaner,
         placement=placement,
         cluster=topology,
+        metadata=metadata,
+        crashpoints=crashpoints,
     )

@@ -48,6 +48,8 @@ KNOWN_KINDS = (
     "layout",       # storage layouts (LFS / FFS)       (core.storage.lfs/ffs)
     "placement",    # array file/block placement        (core.storage.array)
     "cleaner",      # LFS segment cleaners              (core.storage.cleaner)
+    "wal",          # metadata write-ahead logs         (core.metadata.wal)
+    "manifest",     # metadata manifest stores          (core.metadata.manifest)
 )
 
 

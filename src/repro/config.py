@@ -364,6 +364,29 @@ class ClusterConfig:
     free_space_low_water: float = 0.10
     #: upper bound on file migrations per monitor round.
     max_migrations_per_round: int = 8
+    #: durable metadata tier: journal routing flips and migration state in a
+    #: write-ahead log, periodically folded into an atomically rewritten
+    #: manifest, so a crashed node recovers its routing table at mount time.
+    metadata: bool = True
+    #: WAL implementation name in the assembly registry ("wal" kind).
+    wal_kind: str = "group-commit"
+    #: manifest-store implementation name ("manifest" kind).
+    manifest_kind: str = "atomic-rewrite"
+    #: group commit becomes due after this many buffered records ...
+    wal_commit_records: int = 8
+    #: ... or this many buffered bytes ...
+    wal_commit_bytes: int = 4 * KB
+    #: ... or this much simulated time since the previous commit (the
+    #: interval daemon; only spawned once something is journalled).
+    wal_commit_interval: float = 1.0
+    #: False = commit after every record (no batching; for comparison runs).
+    wal_group_commit: bool = True
+    #: fold the WAL into the manifest once the log file passes this size.
+    wal_checkpoint_bytes: int = 64 * KB
+    #: per-operation latency of the (simulated) metadata device, seconds.
+    metadata_latency: float = 0.0002
+    #: bandwidth of the metadata device, bytes per second.
+    metadata_bandwidth: float = 20 * MB
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -382,6 +405,24 @@ class ClusterConfig:
             raise ConfigurationError("free_space_low_water must be in [0, 1)")
         if self.max_migrations_per_round < 1:
             raise ConfigurationError("max_migrations_per_round must be positive")
+        if self.wal_kind != "group-commit" and not _is_registered("wal", self.wal_kind):
+            raise ConfigurationError(f"unknown WAL implementation {self.wal_kind!r}")
+        if self.manifest_kind != "atomic-rewrite" and not _is_registered(
+            "manifest", self.manifest_kind
+        ):
+            raise ConfigurationError(
+                f"unknown manifest implementation {self.manifest_kind!r}"
+            )
+        if self.wal_commit_records < 1:
+            raise ConfigurationError("wal_commit_records must be positive")
+        if self.wal_commit_bytes < 1:
+            raise ConfigurationError("wal_commit_bytes must be positive")
+        if self.wal_commit_interval <= 0:
+            raise ConfigurationError("wal_commit_interval must be positive")
+        if self.wal_checkpoint_bytes < 1:
+            raise ConfigurationError("wal_checkpoint_bytes must be positive")
+        if self.metadata_latency < 0 or self.metadata_bandwidth < 0:
+            raise ConfigurationError("metadata device costs cannot be negative")
 
 
 @dataclass(frozen=True)

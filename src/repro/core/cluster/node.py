@@ -64,6 +64,8 @@ class ClusterTopology:
     rebalancer: Optional["ClusterRebalancer"] = None
     #: remote volumes, keyed by global volume index (front-end view).
     remote_volumes: dict = field(default_factory=dict)
+    #: the durable metadata tier (WAL + manifest), when enabled.
+    metadata: Optional[Any] = None
 
     @property
     def num_nodes(self) -> int:

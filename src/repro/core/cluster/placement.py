@@ -13,7 +13,7 @@ switch atomic — no I/O can interleave with it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.inode import FileKind
 from repro.core.storage.array import PlacementPolicy
@@ -47,6 +47,9 @@ class ClusterPlacement(PlacementPolicy):
         self.volumes_per_node = volumes_per_node
         #: the routing table: file id -> migrated home volume.
         self._overrides: Dict[int, int] = {}
+        #: called with the file id whenever an *existing* entry is dropped
+        #: by :meth:`forget` (the metadata tier journals a FORGET record).
+        self._forget_hook: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------ topology
 
@@ -112,8 +115,31 @@ class ClusterPlacement(PlacementPolicy):
         self._overrides[file_id] = new_volume
 
     def forget(self, file_id: int) -> None:
-        """Drop the routing entry of a deleted file."""
-        self._overrides.pop(file_id, None)
+        """Drop the routing entry of a deleted file.
+
+        The forget hook only fires when an entry actually existed: files
+        that never migrated leave no trace in the journal (keeping an idle
+        metadata tier byte-invisible — the one-node equivalence pin).
+        """
+        if self._overrides.pop(file_id, None) is not None and self._forget_hook is not None:
+            self._forget_hook(file_id)
+
+    def set_forget_hook(self, hook: Optional[Callable[[int], None]]) -> None:
+        self._forget_hook = hook
+
+    # ------------------------------------------------------------------ durability
+
+    def load_overrides(self, overrides: Dict[int, int]) -> None:
+        """Replace the whole routing table (recovery: the manifest snapshot
+        is authoritative for everything up to its checkpoint LSN)."""
+        for volume in overrides.values():
+            if not (0 <= volume < self.num_volumes):
+                raise ConfigurationError(f"no volume {volume} in this cluster")
+        self._overrides = dict(overrides)
+
+    def overrides_snapshot(self) -> Dict[int, int]:
+        """A copy of the routing table (checkpoint: what the manifest saves)."""
+        return dict(self._overrides)
 
     @property
     def displaced_files(self) -> int:

@@ -67,10 +67,17 @@ class ClusterRebalancer:
         fs: "FileSystem",
         placement: ClusterPlacement,
         config: ClusterConfig,
+        metadata: Optional[Any] = None,
+        crashpoints: Optional[Any] = None,
     ):
         self.fs = fs
         self.placement = placement
         self.config = config
+        #: the durable metadata tier (``repro.core.metadata``); None runs
+        #: the PR 5 behaviour — in-memory routing only.
+        self.metadata = metadata
+        #: crash-injection hooks for the recovery test harness.
+        self.crashpoints = crashpoints
         self.scheduler: Scheduler = fs.scheduler
         self.monitor_thread: Optional[Thread] = None
         #: completed migrations, in order (the deterministic schedule).
@@ -82,6 +89,10 @@ class ClusterRebalancer:
         self._last_ops: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ wiring
+
+    def _hit(self, point: str) -> None:
+        if self.crashpoints is not None:
+            self.crashpoints.hit(point)
 
     @property
     def layout(self) -> RoutedLayout:
@@ -224,6 +235,13 @@ class ClusterRebalancer:
             self.migrations_skipped += 1
             return False
 
+        # Journal the migration's intent before touching anything.  A BEGIN
+        # without a later COMMIT is ignored at recovery, so an abandoned or
+        # crashed migration leaves routing exactly where it was.
+        if self.metadata is not None:
+            self.metadata.journal_begin(file_id, old_home, new_home)
+        self._hit("migrate.pull.pre")
+
         # -- PULL: every live block into the cache through the old routing.
         if len(inode.block_map) > min(s.num_blocks for s in cache.shards) // 2:
             # Too big to copy-forward through the cache without starving it.
@@ -352,7 +370,13 @@ class ClusterRebalancer:
             # stale old-volume addresses leave the block map.  No client
             # I/O can interleave, and readers/writers racing the remaining
             # bookkeeping find busy blocks and wait for them.
+            self._hit("migrate.flip.pre")
             placement.flip(file_id, new_home)
+            if self.metadata is not None:
+                # Same atomic step as the flip (append is synchronous and
+                # non-durable): the journal never disagrees with memory
+                # about the order of routing changes.
+                self.metadata.journal_flip(file_id, new_home)
             for block_no, block, _shard in to_move:
                 copy = copies.get(block_no)
                 if copy is not None and block.data is not None and copy.data is not None:
@@ -384,6 +408,7 @@ class ClusterRebalancer:
                 if block_no not in published and target.peek(file_id, block_no) is copy:
                     copy.busy = False
                     target.invalidate(copy)
+            self._hit("migrate.copy.post")
         except BaseException:
             release_pins()
             raise
@@ -394,15 +419,36 @@ class ClusterRebalancer:
         yield from layout.write_inode(inode)
 
         # -- FLUSH: write the file out; the new volume assigns addresses.
+        self._hit("migrate.flush.pre")
         yield from cache.flush_file(file_id)
 
+        if self.metadata is not None:
+            # Durability barrier before COMMIT.  The flush wrote the blocks,
+            # but an LFS volume recovers only from its last checkpoint — so
+            # checkpoint the new home first, *then* journal COMMIT.  Crash
+            # before the COMMIT is durable: recovery routes to the old home,
+            # whose on-disk state is untouched (RETIRE has not run).  Crash
+            # after: recovery routes to the new home, whose copy is durable.
+            if hasattr(new_sub, "checkpoint"):
+                self._hit("migrate.checkpoint.pre")
+                yield from new_sub.checkpoint()
+            self._hit("migrate.commit.pre")
+            yield from self.metadata.journal_commit(file_id)
+            self._hit("migrate.commit.post")
+
         # -- RETIRE: free the old storage and the old inode record.
+        self._hit("migrate.retire.pre")
         for volume in sorted(old_groups):
             shim = Inode(number=file_id, kind=inode.kind)
             shim.block_map = dict(old_groups[volume])
             yield from layout.sublayouts[volume].release_blocks(shim, 0)
         retire = Inode(number=file_id, kind=inode.kind)
         yield from old_sub.free_inode(retire)
+        self._hit("migrate.retire.post")
+
+        if self.metadata is not None:
+            self.metadata.journal_end(file_id)
+            yield from self.metadata.post_migration()
 
         self.migrations += 1
         self.schedule.append(

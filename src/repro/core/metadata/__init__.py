@@ -1,0 +1,50 @@
+"""Durable metadata: write-ahead log, manifest and crash injection.
+
+The cluster tier's routing table (``ClusterPlacement._overrides``) used to
+live purely in memory: a remount forgot every migration and silently fell
+back to arithmetic homes.  This package makes the routing durable with the
+classic two-piece design:
+
+* a **write-ahead log** (:mod:`repro.core.metadata.wal`) of CRC-framed
+  records for routing flips and migration state transitions, batched with
+  group commit;
+* an **atomic-rewrite manifest** (:mod:`repro.core.metadata.manifest`)
+  holding the cluster membership, the routing-table snapshot and the WAL
+  checkpoint pointer, rewritten via temp-file + rename.
+
+Both are ordinary cut-and-paste components: they register through the
+assembly registry (kinds ``"wal"`` and ``"manifest"``), are built by
+``build_stack``, and run unchanged in both worlds — PATSY charges journal
+I/O as simulated disk time through a charged metadata device, PFS persists
+real bytes in real files.
+
+:mod:`repro.core.metadata.crash` provides the fault-injection hooks the
+recovery test harness (``tests/test_recovery.py``) uses to kill the stack
+at every migration step and every WAL/manifest write boundary.
+"""
+
+from repro.core.metadata.crash import CrashPoints, SimulatedCrash
+from repro.core.metadata.device import (
+    DurableStore,
+    FileMetadataDevice,
+    MemoryMetadataDevice,
+    MetadataDevice,
+)
+from repro.core.metadata.manifest import Manifest, ManifestStore
+from repro.core.metadata.tier import MetadataTier
+from repro.core.metadata.wal import WalRecord, WriteAheadLog, decode_wal
+
+__all__ = [
+    "CrashPoints",
+    "SimulatedCrash",
+    "DurableStore",
+    "MetadataDevice",
+    "MemoryMetadataDevice",
+    "FileMetadataDevice",
+    "Manifest",
+    "ManifestStore",
+    "MetadataTier",
+    "WalRecord",
+    "WriteAheadLog",
+    "decode_wal",
+]

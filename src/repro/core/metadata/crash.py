@@ -1,0 +1,101 @@
+"""Crash-point fault injection for the recovery test harness.
+
+A :class:`CrashPoints` instance is threaded through the stack (rebalancer,
+WAL, manifest store) and consulted at every named boundary — each migration
+step, each WAL commit, each manifest rewrite.  Visiting a point counts its
+occurrence; when the instance is *armed* at ``(point, occurrence)`` the
+visit raises :class:`SimulatedCrash` and aborts the scheduler, killing the
+whole stack at exactly that boundary.
+
+The harness uses the same object in two modes:
+
+1. **Recording** — an uncrashed reference run with ``recording=True``
+   collects every ``(point, occurrence)`` pair actually visited, which
+   *is* the crash matrix: the set of all boundaries a real run crosses.
+2. **Armed** — one fresh run per recorded pair, armed at that pair,
+   expects :class:`SimulatedCrash`, then remounts and checks recovery.
+
+``SimulatedCrash`` derives from :class:`BaseException` on purpose: a crash
+must not be swallowed by any ``except Exception`` cleanup path in the
+stack — like a power failure, nothing gets to handle it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.scheduler import Scheduler
+
+__all__ = ["SimulatedCrash", "CrashPoints"]
+
+
+class SimulatedCrash(BaseException):
+    """The stack died at an injected crash point.
+
+    A ``BaseException`` so that no component's ``except Exception`` error
+    handling can absorb it — a crash terminates everything.
+    """
+
+    def __init__(self, point: str, occurrence: int):
+        super().__init__(f"simulated crash at {point!r} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+class CrashPoints:
+    """Named crash boundaries with per-point occurrence counting.
+
+    Parameters
+    ----------
+    arm:
+        ``(point, occurrence)`` at which to crash, or None to never crash.
+    recording:
+        Collect every visited ``(point, occurrence)`` pair in ``seen``.
+    """
+
+    def __init__(
+        self,
+        arm: Optional[Tuple[str, int]] = None,
+        recording: bool = False,
+    ):
+        self.armed = arm
+        self.recording = recording
+        #: occurrences visited so far, per point name.
+        self.counts: Dict[str, int] = {}
+        #: every (point, occurrence) visited, in order (recording mode).
+        self.seen: List[Tuple[str, int]] = []
+        self._scheduler: Optional["Scheduler"] = None
+
+    def bind(self, scheduler: "Scheduler") -> None:
+        """Attach the scheduler so a crash halts every thread, not just
+        the one that tripped it."""
+        self._scheduler = scheduler
+
+    # ------------------------------------------------------------------ visiting
+
+    def visit(self, point: str) -> bool:
+        """Count one occurrence of ``point``; True when the armed crash
+        fires *here* (the caller may then do partial work — e.g. a torn
+        write — before calling :meth:`crash`)."""
+        index = self.counts.get(point, 0)
+        self.counts[point] = index + 1
+        if self.recording:
+            self.seen.append((point, index))
+        return self.armed == (point, index)
+
+    def hit(self, point: str) -> None:
+        """Visit ``point`` and crash immediately if armed here."""
+        if self.visit(point):
+            self.crash(point)
+
+    def crash(self, point: str) -> None:
+        """Raise the crash for ``point`` and abort the scheduler."""
+        occurrence = self.counts.get(point, 1) - 1
+        exc = SimulatedCrash(point, occurrence)
+        if self._scheduler is not None:
+            self._scheduler.abort(exc)
+        raise exc
+
+    def __repr__(self) -> str:
+        return f"CrashPoints(armed={self.armed}, visited={sum(self.counts.values())})"

@@ -384,6 +384,9 @@ class Scheduler:
         self.current_thread: Optional[Thread] = None
         #: number of thread resumptions performed (context switches).
         self.context_switches = 0
+        #: set by abort(): the run loops re-raise it instead of stepping on,
+        #: so one thread can take the whole scheduler down (crash injection).
+        self._abort: Optional[BaseException] = None
 
     # -- time -------------------------------------------------------------------
 
@@ -443,6 +446,21 @@ class Scheduler:
     def failures(self) -> tuple[Thread, ...]:
         return tuple(self._failures)
 
+    def abort(self, exc: BaseException) -> None:
+        """Stop the whole scheduler: the current run loop re-raises ``exc``
+        before its next step, regardless of which thread is affected.
+
+        Used by crash injection (:mod:`repro.core.metadata.crash`) to model
+        a machine dying — every thread stops mid-flight, not just the one
+        that tripped the crash point.
+        """
+        self._abort = exc
+
+    def _check_abort(self) -> None:
+        if self._abort is not None:
+            exc, self._abort = self._abort, None
+            raise exc
+
     # -- the run loop ---------------------------------------------------------------
 
     def run(
@@ -458,6 +476,7 @@ class Scheduler:
         """
         steps = 0
         while True:
+            self._check_abort()
             if max_steps is not None and steps >= max_steps:
                 break
             if until is not None and self.now >= until:
@@ -486,6 +505,7 @@ class Scheduler:
         because nothing is runnable or delayed.
         """
         while thread.alive:
+            self._check_abort()
             if self._runnable:
                 self._step()
             elif self._delayed:
@@ -500,6 +520,8 @@ class Scheduler:
         if thread in self._failures:
             self._failures.remove(thread)
         if thread.exception is not None:
+            if self._abort is thread.exception:
+                self._abort = None
             raise thread.exception
         if raise_failures:
             self._raise_pending_failure()

@@ -257,6 +257,7 @@ class PatsySimulator:
         self.placement = stack.placement
         self.cluster = stack.cluster
         self.rebalancer = stack.cluster.rebalancer if stack.cluster is not None else None
+        self.metadata = stack.metadata
         self.fs = stack.fs
         self.client = stack.client
 
@@ -673,6 +674,8 @@ class PatsySimulator:
                 }
                 for m in topology.rebalancer.schedule
             ]
+        if topology.metadata is not None:
+            stats["metadata"] = topology.metadata.snapshot()
         return stats
 
     def collect_statistics(self) -> Dict[str, Any]:

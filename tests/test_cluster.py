@@ -55,6 +55,22 @@ def test_cluster_config_validation():
         ClusterConfig(free_space_low_water=1.5)
     with pytest.raises(ConfigurationError):
         ClusterConfig(rebalance_interval=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(wal_kind="no-such-wal")
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(manifest_kind="no-such-manifest")
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(wal_commit_records=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(wal_commit_bytes=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(wal_commit_interval=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(wal_checkpoint_bytes=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(metadata_latency=-0.1)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(metadata_bandwidth=-1)
 
 
 def test_spec_cluster_topology_helpers():
@@ -268,6 +284,12 @@ def test_one_node_cluster_reproduces_array_summary_byte_identically():
     clustered_config = replace(base, cluster=ClusterConfig(nodes=1))
     clustered = PatsySimulator(clustered_config).replay(trace, trace_name="t")
     assert repr(arrayed.summary()) == repr(clustered.summary())
+    # The durable metadata tier (on by default) must be byte-invisible when
+    # no migration ever happens: with nothing journalled it touches neither
+    # the scheduler nor the devices, so disabling it changes nothing.
+    without_metadata = replace(base, cluster=ClusterConfig(nodes=1, metadata=False))
+    bare = PatsySimulator(without_metadata).replay(trace, trace_name="t")
+    assert repr(bare.summary()) == repr(clustered.summary())
     # Both went through the multi-volume stack; only the real cluster run
     # carries cluster stats (a one-node cluster has no network to report).
     assert arrayed.volume_stats and clustered.volume_stats
