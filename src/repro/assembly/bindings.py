@@ -30,7 +30,7 @@ from repro.assembly.spec import StackSpec
 from repro.core.clock import RealClock, VirtualClock
 from repro.core.datamover import DataMover
 from repro.core.iosched import make_io_scheduler
-from repro.core.scheduler import Scheduler
+from repro.core.scheduler import NodeMergeSchedulingPolicy, Scheduler, ShardedScheduler
 from repro.units import MB
 
 __all__ = ["Hardware", "Binding", "SimulatedBinding", "OnlineBinding", "ClusterBinding"]
@@ -70,8 +70,23 @@ class Binding:
     def with_data(self) -> bool:
         return not self.simulated
 
-    def make_scheduler(self, seed: int) -> Scheduler:
+    def make_scheduler(self, seed: int, cluster: Optional[Any] = None) -> Scheduler:
         raise NotImplementedError
+
+    def _cluster_scheduler(self, clock: Any, seed: int, cluster: Optional[Any]) -> Scheduler:
+        """The shared scheduler-selection rule.
+
+        Multi-node stacks run under the deterministic node-merge order so the
+        interleaving is a pure function of the workload (the premise of the
+        sharded and parallel executors); ``cluster.sharded_loop`` picks the
+        per-node sub-queue implementation of that same order.  Single-machine
+        stacks keep the paper's seeded random policy, byte-for-byte.
+        """
+        if cluster is None or cluster.nodes <= 1:
+            return Scheduler(clock=clock, seed=seed)
+        if cluster.sharded_loop:
+            return ShardedScheduler(clock=clock, seed=seed, nodes=cluster.nodes)
+        return Scheduler(clock=clock, seed=seed, policy=NodeMergeSchedulingPolicy())
 
     def build_hardware(self, spec: StackSpec, scheduler: Scheduler) -> Hardware:
         raise NotImplementedError
@@ -128,8 +143,8 @@ class SimulatedBinding(Binding):
     def __init__(self, metadata_store: Optional[Any] = None):
         self.metadata_store = metadata_store
 
-    def make_scheduler(self, seed: int) -> Scheduler:
-        return Scheduler(clock=VirtualClock(), seed=seed)
+    def make_scheduler(self, seed: int, cluster: Optional[Any] = None) -> Scheduler:
+        return self._cluster_scheduler(VirtualClock(), seed, cluster)
 
     def make_metadata_device(self, spec: StackSpec, scheduler: Scheduler) -> Any:
         from repro.core.metadata.device import MemoryMetadataDevice
@@ -167,13 +182,15 @@ class SimulatedBinding(Binding):
         drivers: List[Any] = []
         for index in range(spec.num_disks):
             bus = buses[spec.bus_for_disk(index)]
-            disk = SimulatedDisk(scheduler, disk_spec, bus, name=f"disk{index}")
+            node = spec.node_of_disk(index)
+            disk = SimulatedDisk(scheduler, disk_spec, bus, name=f"disk{index}", node=node)
             driver = SimulatedDiskDriver(
                 scheduler,
                 disk,
                 bus,
                 name=f"sim-disk{index}",
                 io_scheduler=make_io_scheduler(host.io_scheduler),
+                node=node,
             )
             disks.append(disk)
             drivers.append(driver)
@@ -257,9 +274,9 @@ class OnlineBinding(Binding):
         #: backing persists metadata in real files next to the disk image).
         self.metadata_store = metadata_store
 
-    def make_scheduler(self, seed: int) -> Scheduler:
+    def make_scheduler(self, seed: int, cluster: Optional[Any] = None) -> Scheduler:
         clock = RealClock() if self.real_time else VirtualClock()
-        return Scheduler(clock=clock, seed=seed)
+        return self._cluster_scheduler(clock, seed, cluster)
 
     def make_metadata_device(self, spec: StackSpec, scheduler: Scheduler) -> Any:
         from repro.core.metadata.device import FileMetadataDevice, MemoryMetadataDevice

@@ -166,7 +166,7 @@ def _build_layout(
 
 
 def _make_cleaner_daemon(
-    spec: StackSpec, scheduler: Scheduler, layout: LogStructuredLayout
+    spec: StackSpec, scheduler: Scheduler, layout: LogStructuredLayout, node: int = 0
 ) -> CleanerDaemon:
     return CleanerDaemon(
         scheduler,
@@ -174,6 +174,7 @@ def _make_cleaner_daemon(
         make_cleaner(spec.layout.cleaner_policy, spec.layout.cleaner_age_scale),
         low_water=spec.layout.cleaner_low_water,
         high_water=spec.layout.cleaner_high_water,
+        node=node,
     )
 
 
@@ -192,7 +193,7 @@ def build_stack(
     and the rebalancer (the recovery test harness).
     """
     if scheduler is None:
-        scheduler = binding.make_scheduler(spec.seed)
+        scheduler = binding.make_scheduler(spec.seed, spec.cluster)
     if crashpoints is not None:
         crashpoints.bind(scheduler)
     hardware: Hardware = binding.build_hardware(spec, scheduler)
@@ -229,6 +230,14 @@ def build_stack(
             stripe_unit=node_array.stripe_unit_blocks,
         )
         if cluster is not None:
+            if hasattr(placement, "bind_cluster"):
+                # Node-affine policies resolve the creator's node from the
+                # scheduler's current thread at allocation time.
+                def _creator_node(scheduler: Scheduler = scheduler) -> int:
+                    current = scheduler.current_thread
+                    return current.node if current is not None else 0
+
+                placement.bind_cluster(spec.volumes_per_node, _creator_node)
             placement = ClusterPlacement(placement, cluster.nodes, spec.volumes_per_node)
         nics = hardware.nics or binding.build_network(spec, scheduler)
         volumes: List[Volume] = []
@@ -239,13 +248,21 @@ def build_stack(
                 block_size=spec.cache.block_size,
             )
             node = spec.node_of_volume(v)
-            if nics and node != 0:
+            if nics and (node != 0 or cluster is not None and cluster.client_entry == "home"):
+                # Node-aware wrapper: accesses from the owner's own threads
+                # (daemons, homed clients) stay off the network; foreign
+                # accesses cross the accessor's NIC out and the owner's back.
+                # Under the default front-end entry, node-0 volumes stay bare
+                # LocalVolumes — node 0 is where every client runs.
                 assert cluster is not None
                 remote = RemoteVolume(
                     local,
                     local_nic=nics[0],
                     remote_nic=nics[node],
                     request_bytes=cluster.request_bytes,
+                    scheduler=scheduler,
+                    node=node,
+                    nics=nics,
                 )
                 remote_volumes[v] = remote
                 volumes.append(remote)
@@ -295,10 +312,19 @@ def build_stack(
             low_water=node_array.governor_low_water,
             check_interval=node_array.governor_interval,
         )
+        if cluster is not None and cluster.nodes > 1:
+            # Home each cache shard's flush daemons (and the governors) on
+            # the node that owns the shard's volume(s).
+            if len(shards) == total_volumes:
+                flush_policy.shard_nodes = [
+                    spec.node_of_volume(v) for v in range(total_volumes)
+                ]
+            else:
+                flush_policy.shard_nodes = [0]
         lfs_daemons = [
-            _make_cleaner_daemon(spec, scheduler, sub)
-            for sub in sublayouts
-            if isinstance(sub, LogStructuredLayout)
+            _make_cleaner_daemon(spec, scheduler, sublayouts[v], node=spec.node_of_volume(v))
+            for v in range(total_volumes)
+            if isinstance(sublayouts[v], LogStructuredLayout)
         ]
         if lfs_daemons:
             cleaner = CleanerSet(lfs_daemons)

@@ -115,11 +115,13 @@ class StackSpec:
         """Total bus complement (each node carries its own buses)."""
         return self.num_nodes * self.buses_per_node
 
-    def node_of_disk(self, disk_index: int) -> int:
-        return disk_index // self.disks_per_node
-
     def node_of_volume(self, volume_index: int) -> int:
+        """Cluster node one volume belongs to (volumes never span nodes)."""
         return volume_index // self.volumes_per_node
+
+    def node_of_disk(self, disk_index: int) -> int:
+        """Cluster node one disk belongs to (disks never span nodes)."""
+        return disk_index // self.disks_per_node
 
     def bus_for_disk(self, disk_index: int) -> int:
         """Global bus index of one disk (buses never span nodes)."""

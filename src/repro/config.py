@@ -263,8 +263,11 @@ class ArrayConfig:
     #: explicit total disk count (None = buses * disks_per_bus).
     num_disks: Optional[int] = None
     #: placement policy routing files/blocks to volumes: "hash" (whole file
-    #: by name hash), "stripe" (round-robin stripe units across volumes) or
-    #: "directory" (files co-locate with their parent directory).
+    #: by name hash), "stripe" (round-robin stripe units across volumes),
+    #: "directory" (files co-locate with their parent directory) or "node"
+    #: (top-level directories home on their creator's cluster node,
+    #: directory affinity below — the partitioned layout the parallel
+    #: replay executor requires).
     placement: str = "hash"
     #: stripe unit in file blocks (placement == "stripe").
     stripe_unit_blocks: int = 16
@@ -291,7 +294,7 @@ class ArrayConfig:
             raise ConfigurationError("each volume needs at least one disk")
         if self.buses > disks:
             raise ConfigurationError("more buses than disks makes no sense")
-        if self.placement not in {"hash", "stripe", "directory"} and not _is_registered(
+        if self.placement not in {"hash", "stripe", "directory", "node"} and not _is_registered(
             "placement", self.placement
         ):
             raise ConfigurationError(f"unknown placement policy {self.placement!r}")
@@ -387,10 +390,33 @@ class ClusterConfig:
     metadata_latency: float = 0.0002
     #: bandwidth of the metadata device, bytes per second.
     metadata_bandwidth: float = 20 * MB
+    #: shard the event loop by node (per-node sub-queues with a deterministic
+    #: cross-node merge).  Always safe with ``nodes > 1``: the schedule is a
+    #: pure function of the workload either way.  ``False`` keeps the single
+    #: global heap (the sequential reference the sharded loop is pinned to).
+    sharded_loop: bool = True
+    #: run each node's sub-queue in a worker process (``core.parallel``);
+    #: requires a node-partitioned workload (``client_entry="home"``, the
+    #: ``node`` placement, rebalancing off).
+    parallel: bool = False
+    #: worker-process cap for ``parallel`` runs; 0 = one worker per node.
+    jobs: int = 0
+    #: where client requests enter the cluster: ``"front-end"`` (node 0
+    #: issues everything, the paper's shape) or ``"home"`` (each client is
+    #: pinned round-robin to a node and its I/O starts there).
+    client_entry: str = "front-end"
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ConfigurationError("a cluster needs at least one node")
+        if self.jobs < 0:
+            raise ConfigurationError("jobs cannot be negative")
+        if self.client_entry not in ("front-end", "home"):
+            raise ConfigurationError(
+                f"unknown client_entry {self.client_entry!r} (want 'front-end' or 'home')"
+            )
+        if self.parallel and not self.sharded_loop:
+            raise ConfigurationError("parallel replay requires the sharded event loop")
         if self.network_bandwidth <= 0:
             raise ConfigurationError("network bandwidth must be positive")
         if self.network_latency < 0 or self.nic_overhead < 0:

@@ -10,9 +10,9 @@ the NIC is released — the wire is pipelined, only the interface serialises.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
-from repro.core.scheduler import Scheduler
+from repro.core.scheduler import Delay, Scheduler
 from repro.core.sync import Resource
 from repro.errors import ConfigurationError
 from repro.units import MB
@@ -50,6 +50,26 @@ class Nic:
     def serialisation_time(self, nbytes: int) -> float:
         return self.overhead + nbytes / self.bandwidth
 
+    @property
+    def lookahead(self) -> float:
+        """Minimum in-flight time of any message through this NIC.
+
+        Per-message overhead plus propagation latency — the serialisation
+        term only grows with the payload, so this is a hard lower bound on
+        how long any cross-node interaction stays invisible to the peer.
+        Conservative parallel replay (:mod:`repro.core.parallel`) uses it as
+        the Chandy–Misra lookahead: a node granted time ``T`` may run freely
+        to ``T + lookahead`` without waiting for new messages.
+        """
+        return self.overhead + self.latency
+
+    def earliest_delivery(self, now: Optional[float] = None) -> float:
+        """Earliest time a message sent through this NIC from ``now`` (default:
+        the current scheduler time) can reach its destination."""
+        if now is None:
+            now = self.scheduler.now
+        return now + self.lookahead
+
     # -- use ---------------------------------------------------------------------
 
     def send(self, nbytes: int) -> Generator[Any, Any, None]:
@@ -60,16 +80,19 @@ class Nic:
         latency without holding it.
         """
         yield from self._resource.acquire()
-        started = self.scheduler.now
+        hold = self.serialisation_time(nbytes)
         try:
-            yield from self.scheduler.sleep(self.serialisation_time(nbytes))
-        finally:
-            self.busy_time += self.scheduler.now - started
+            yield Delay(hold)
+        except BaseException:
             self._resource.release()
+            raise
+        # An uninterrupted Delay advances the clock by exactly ``hold``.
+        self.busy_time += hold
+        self._resource.release()
         self.bytes_sent += nbytes
         self.messages += 1
         if self.latency > 0:
-            yield from self.scheduler.sleep(self.latency)
+            yield Delay(self.latency)
 
     # -- statistics ----------------------------------------------------------------
 

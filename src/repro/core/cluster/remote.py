@@ -34,6 +34,15 @@ class RemoteVolume(Volume):
         through it.
     request_bytes:
         Size of a request/acknowledgement header message.
+    scheduler / node / nics:
+        Node-aware routing (cluster stacks): ``node`` is the volume's owner
+        and ``nics`` the per-node interfaces.  Each access resolves the
+        *accessor's* node from the scheduler's current thread — an access
+        from the owner node (its flush daemon, cleaner, or a client homed
+        there) goes straight to the backing volume, while a foreign access
+        crosses the accessor's NIC out and the owner's NIC back.  Without a
+        scheduler the wrapper is static: every access is charged the
+        ``local_nic``/``remote_nic`` pair (the front-end-relative model).
     """
 
     def __init__(
@@ -42,15 +51,34 @@ class RemoteVolume(Volume):
         local_nic: Nic,
         remote_nic: Nic,
         request_bytes: int = 128,
+        scheduler: Optional[Any] = None,
+        node: int = 0,
+        nics: Optional[list] = None,
     ):
         self.backing = backing
         self.local_nic = local_nic
         self.remote_nic = remote_nic
         self.request_bytes = request_bytes
+        self.node = node
+        self._scheduler = scheduler if nics else None
+        self._nics = nics
         self.block_size = backing.block_size
         self.remote_reads = 0
         self.remote_writes = 0
+        self.local_io = 0
         self.bytes_over_wire = 0
+
+    def _route(self) -> Optional[tuple[Nic, Nic]]:
+        """(outbound NIC, return NIC) for this access, or None if node-local."""
+        scheduler = self._scheduler
+        if scheduler is None:
+            return self.local_nic, self.remote_nic
+        current = scheduler.current_thread
+        accessor = current.node if current is not None else 0
+        if accessor == self.node:
+            return None
+        nics = self._nics
+        return nics[accessor], nics[self.node]
 
     # -- shape (delegated) -------------------------------------------------------
 
@@ -82,11 +110,16 @@ class RemoteVolume(Volume):
     # -- I/O ---------------------------------------------------------------------
 
     def read_run(self, block_addr: int, nblocks: int = 1) -> Generator[Any, Any, Optional[bytes]]:
-        """Request out of the local NIC, data back out of the remote NIC."""
-        yield from self.local_nic.send(self.request_bytes)
+        """Request out of the accessor's NIC, data back out of the owner's."""
+        route = self._route()
+        if route is None:
+            self.local_io += 1
+            return (yield from self.backing.read_run(block_addr, nblocks))
+        out_nic, back_nic = route
+        yield from out_nic.send(self.request_bytes)
         data = yield from self.backing.read_run(block_addr, nblocks)
         payload = nblocks * self.block_size
-        yield from self.remote_nic.send(payload)
+        yield from back_nic.send(payload)
         self.remote_reads += 1
         self.bytes_over_wire += self.request_bytes + payload
         return data
@@ -94,25 +127,38 @@ class RemoteVolume(Volume):
     def write_run(
         self, block_addr: int, nblocks: int, data: Optional[bytes]
     ) -> Generator[Any, Any, None]:
-        """Data out of the local NIC, acknowledgement back over the remote."""
+        """Data out of the accessor's NIC, acknowledgement back over the owner's."""
+        route = self._route()
+        if route is None:
+            self.local_io += 1
+            yield from self.backing.write_run(block_addr, nblocks, data)
+            return
+        out_nic, back_nic = route
         payload = nblocks * self.block_size
-        yield from self.local_nic.send(self.request_bytes + payload)
+        yield from out_nic.send(self.request_bytes + payload)
         yield from self.backing.write_run(block_addr, nblocks, data)
-        yield from self.remote_nic.send(self.request_bytes)
+        yield from back_nic.send(self.request_bytes)
         self.remote_writes += 1
         self.bytes_over_wire += 2 * self.request_bytes + payload
 
     def flush(self) -> Generator[Any, Any, None]:
         """One control round trip, then drain the remote disk queues."""
-        yield from self.local_nic.send(self.request_bytes)
+        route = self._route()
+        if route is None:
+            self.local_io += 1
+            yield from self.backing.flush()
+            return
+        out_nic, back_nic = route
+        yield from out_nic.send(self.request_bytes)
         yield from self.backing.flush()
-        yield from self.remote_nic.send(self.request_bytes)
+        yield from back_nic.send(self.request_bytes)
         self.bytes_over_wire += 2 * self.request_bytes
 
     def snapshot(self) -> dict:
         return {
             "remote_reads": self.remote_reads,
             "remote_writes": self.remote_writes,
+            "local_io": self.local_io,
             "bytes_over_wire": self.bytes_over_wire,
         }
 

@@ -159,21 +159,24 @@ class DiskDriver(ABC):
         io_scheduler: Optional[IoScheduler] = None,
         num_sectors: int = 2_000_000,
         sector_size: int = SECTOR_SIZE,
+        node: int = 0,
     ):
         if num_sectors <= 0:
             raise DiskError("disk must have a positive number of sectors")
         self.scheduler = scheduler
         self.name = name
+        self.node = node
         self.queue = io_scheduler if io_scheduler is not None else make_io_scheduler("clook")
         self.num_sectors = num_sectors
         self.sector_size = sector_size
         self.stats = DriverStatistics()
+        self._io_event_name = f"{name}-io"
         self._head_position = 0
         self._in_flight = 0
         self._work = scheduler.new_event(f"{name}-driver-work")
         self._idle = scheduler.new_event(f"{name}-driver-idle")
         self._service_thread = scheduler.spawn(
-            self._service_loop, name=f"{name}-driver", daemon=True
+            self._service_loop, name=f"{name}-driver", daemon=True, node=node
         )
 
     # -- public interface ------------------------------------------------------
@@ -206,7 +209,7 @@ class DiskDriver(ABC):
         """Queue a request and wait for its completion."""
         self._check_bounds(request)
         request.created_at = self.scheduler.now
-        request.done = self.scheduler.new_event(f"{self.name}-io-{request.request_id}")
+        request.done = self.scheduler.new_event(self._io_event_name)
         self.stats.record_submit(len(self.queue))
         self.queue.add(request)
         self._work.signal()

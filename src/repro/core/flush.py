@@ -66,19 +66,26 @@ class FlushPolicy(ABC):
         self.wakeups_coalesced = 0
         #: blocks flushed ahead of demand to restock the free-block pool.
         self.flush_ahead_blocks = 0
+        #: cluster node whose sub-queue runs this policy's daemons.
+        self.node = 0
 
     # -- wiring ---------------------------------------------------------------
 
-    def attach(self, cache: BlockCache, scheduler: Scheduler) -> None:
-        """Connect the policy to a cache and start its service threads."""
+    def attach(self, cache: BlockCache, scheduler: Scheduler, node: int = 0) -> None:
+        """Connect the policy to a cache and start its service threads.
+
+        ``node`` tags the daemons with the cluster node that owns the cache,
+        so a sharded or parallel replay runs them on that node's sub-queue.
+        """
         self.cache = cache
         self.scheduler = scheduler
+        self.node = node
         self._work = scheduler.new_event(f"{self.name}-flush-work")
         self.configure_cache(cache)
         if self.config.asynchronous:
             cache.space_requester = self._request_space
             self.daemon_thread = scheduler.spawn(
-                self._flush_daemon, name=f"{self.name}-flush-daemon", daemon=True
+                self._flush_daemon, name=f"{self.name}-flush-daemon", daemon=True, node=node
             )
         self.policy_thread = self.start()
 
@@ -175,7 +182,9 @@ class PeriodicUpdatePolicy(FlushPolicy):
 
     def start(self) -> Thread:
         assert self.scheduler is not None
-        return self.scheduler.spawn(self._update_daemon, name="update-daemon", daemon=True)
+        return self.scheduler.spawn(
+            self._update_daemon, name="update-daemon", daemon=True, node=self.node
+        )
 
     def _update_daemon(self) -> Generator[Any, Any, None]:
         assert self.cache is not None and self.scheduler is not None
@@ -250,7 +259,9 @@ class NvramPolicy(FlushPolicy):
 
     def start(self) -> Optional[Thread]:
         assert self.scheduler is not None
-        return self.scheduler.spawn(self._drain_daemon, name="nvram-drain", daemon=True)
+        return self.scheduler.spawn(
+            self._drain_daemon, name="nvram-drain", daemon=True, node=self.node
+        )
 
     def _drain_daemon(self) -> Generator[Any, Any, None]:
         assert self.cache is not None and self.scheduler is not None
@@ -310,31 +321,72 @@ class ShardedFlushPolicy(FlushPolicy):
         self.low_water = low_water
         self.check_interval = check_interval
         self.children: List[FlushPolicy] = []
+        #: node index per shard, set by the builder before :meth:`attach` on
+        #: cluster stacks; None keeps every shard (and the governor) on the
+        #: node passed to ``attach``.
+        self.shard_nodes: Optional[List[int]] = None
         self.governor_thread: Optional[Thread] = None
+        self.governor_threads: List[Thread] = []
         self.governor_wakeups = 0
         self.governor_flushes = 0
 
-    def attach(self, cache: "ShardedCache", scheduler: Scheduler) -> None:
+    def attach(self, cache: "ShardedCache", scheduler: Scheduler, node: int = 0) -> None:
         self.cache = cache  # type: ignore[assignment]
         self.scheduler = scheduler
+        self.node = node
         shards = cache.shards
+        shard_nodes = self.shard_nodes
+        if shard_nodes is None:
+            shard_nodes = [node] * len(shards)
+        elif len(shard_nodes) != len(shards):
+            raise ConfigurationError(
+                f"shard_nodes carries {len(shard_nodes)} entries "
+                f"for a {len(shards)}-shard cache"
+            )
         child_config = self.config
         if self.config.policy == "nvram" and len(shards) > 1:
             child_config = replace(
                 self.config, nvram_bytes=max(self.config.nvram_bytes // len(shards), 1)
             )
-        for shard in shards:
+        for shard, shard_node in zip(shards, shard_nodes):
             child = make_flush_policy(child_config)
-            child.attach(shard, scheduler)
+            child.attach(shard, scheduler, node=shard_node)
             self.children.append(child)
-        if len(shards) > 1 and self.config.policy != "ups" and self.high_water < 1.0:
-            self.governor_thread = scheduler.spawn(
-                self._governor, name="dirty-governor", daemon=True
+        if self.config.policy == "ups" or self.high_water >= 1.0:
+            return
+        distinct_nodes = sorted(set(shard_nodes))
+        if len(distinct_nodes) == 1:
+            # Single machine: one governor over the whole array, spawned
+            # under the legacy name so one-node stacks stay byte-identical.
+            if len(shards) > 1:
+                self.governor_thread = scheduler.spawn(
+                    self._governor,
+                    list(shards),
+                    name="dirty-governor",
+                    daemon=True,
+                    node=distinct_nodes[0],
+                )
+                self.governor_threads = [self.governor_thread]
+            return
+        # Cluster: one governor per node, each watching only its node's
+        # shards — flush pressure never crosses the NIC boundary, which is
+        # what lets the parallel executor run each node independently.
+        for shard_node in distinct_nodes:
+            group = [s for s, n in zip(shards, shard_nodes) if n == shard_node]
+            if len(group) <= 1:
+                continue
+            thread = scheduler.spawn(
+                self._governor,
+                group,
+                name=f"dirty-governor-n{shard_node}",
+                daemon=True,
+                node=shard_node,
             )
+            self.governor_threads.append(thread)
+        self.governor_thread = self.governor_threads[0] if self.governor_threads else None
 
-    def _governor(self) -> Generator[Any, Any, None]:
+    def _governor(self, shards: List[BlockCache]) -> Generator[Any, Any, None]:
         assert self.cache is not None and self.scheduler is not None
-        shards = self.cache.shards
         capacity = sum(shard.num_blocks * shard.block_size for shard in shards)
         while True:
             yield from self.scheduler.sleep(self.check_interval)

@@ -25,7 +25,7 @@ import os
 from pathlib import Path
 from typing import Any, Generator, Optional, Union
 
-from repro.core.scheduler import Scheduler
+from repro.core.scheduler import Delay, Scheduler
 
 __all__ = [
     "DurableStore",
@@ -65,7 +65,7 @@ class MetadataDevice:
         if self.bandwidth > 0:
             cost += nbytes / self.bandwidth
         if cost > 0:
-            yield from self.scheduler.sleep(cost)
+            yield Delay(cost)
 
     # -- the generator API the WAL and manifest components use ---------------
 

@@ -26,6 +26,15 @@ is how a PFS instantiation serves real clients.
 
 As in the paper, the default scheduling policy picks a *random* runnable
 thread; other policies are derived classes of :class:`SchedulingPolicy`.
+
+Cluster replays shard this event loop by node.  Every thread carries the
+``node`` it runs on; :class:`NodeMergeSchedulingPolicy` makes the
+interleaving a deterministic pure function of the workload (lowest node
+first, then arrival order), and :class:`ShardedScheduler` reproduces exactly
+that schedule from per-node sub-queues — node-local events run from a
+node-local deque/heap, cross-node wake-ups pass through a small transfer
+queue, and the global merge is only performed when the clock must advance
+past another node's earliest pending event (the conservative window).
 """
 
 from __future__ import annotations
@@ -35,7 +44,9 @@ import heapq
 import itertools
 import random
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+from collections import deque
+from hashlib import blake2b
+from typing import Any, Callable, Dict, Generator, Iterable, Optional, Sequence
 
 from repro.core.clock import Clock, VirtualClock
 from repro.errors import DeadlockError, SchedulerError
@@ -52,7 +63,9 @@ __all__ = [
     "SchedulingPolicy",
     "RandomSchedulingPolicy",
     "FifoSchedulingPolicy",
+    "NodeMergeSchedulingPolicy",
     "Scheduler",
+    "ShardedScheduler",
 ]
 
 
@@ -103,7 +116,8 @@ class Reschedule:
 #: interned command singletons.  Commands are immutable once constructed and
 #: the scheduler never stores them, so the same object can be yielded by any
 #: number of threads; replaying millions of trace operations then allocates
-#: no command objects for reschedules and zero-length delays.
+#: no command objects for reschedules and zero-length delays.  Events intern
+#: their own :class:`WaitEvent` the same way (see :meth:`Event.wait`).
 RESCHEDULE = Reschedule()
 DELAY_ZERO = Delay(0.0)
 
@@ -128,7 +142,7 @@ class Event:
 
     _counter = itertools.count()
 
-    __slots__ = ("name", "_scheduler", "_waiters", "_pending", "_pending_value")
+    __slots__ = ("name", "_scheduler", "_waiters", "_pending", "_pending_value", "_wait_command")
 
     def __init__(self, scheduler: Optional["Scheduler"] = None, name: str = ""):
         self.name = name or f"event-{next(Event._counter)}"
@@ -136,6 +150,9 @@ class Event:
         self._waiters: list[Thread] = []
         self._pending = False
         self._pending_value: Any = None
+        #: interned WaitEvent command — immutable, so one object serves every
+        #: wait on this event (no allocation per blocking wait).
+        self._wait_command: Optional[WaitEvent] = None
 
     # -- introspection ------------------------------------------------------
 
@@ -180,7 +197,10 @@ class Event:
             self._pending = False
             value, self._pending_value = self._pending_value, None
             return value
-        value = yield WaitEvent(self)
+        command = self._wait_command
+        if command is None:
+            command = self._wait_command = WaitEvent(self)
+        value = yield command
         return value
 
     # -- scheduler hooks ------------------------------------------------------
@@ -225,10 +245,31 @@ class Thread:
     instantiates this class directly.  The ``daemon`` flag marks service
     threads (disk controllers, the cleaner, flush daemons) that are expected
     to be blocked forever when a run ends; they are excluded from deadlock
-    accounting.
+    accounting.  ``node`` is the cluster node the thread belongs to (0 for
+    single-machine stacks); it routes the thread to its per-node sub-queue
+    under a :class:`ShardedScheduler`.
     """
 
     _counter = itertools.count(1)
+
+    __slots__ = (
+        "scheduler",
+        "name",
+        "daemon",
+        "node",
+        "ident",
+        "state",
+        "alive",
+        "result",
+        "exception",
+        "finished_at",
+        "_generator",
+        "_send_value",
+        "_joiners",
+        "_waiting_on",
+        "_heap_entry",
+        "_stamp",
+    )
 
     def __init__(
         self,
@@ -236,12 +277,19 @@ class Thread:
         generator: Generator[Any, Any, Any],
         name: str,
         daemon: bool = False,
+        node: int = 0,
     ):
+        if node < 0:
+            raise SchedulerError(f"thread {name!r} placed on a negative node: {node}")
         self.scheduler = scheduler
         self.name = name
         self.daemon = daemon
+        self.node = node
         self.ident = next(Thread._counter)
         self.state = ThreadState.NEW
+        #: kept as a plain attribute (not derived from ``state``) because the
+        #: run loops test it once per step; flipped exactly once, on death.
+        self.alive = True
         self.result: Any = None
         self.exception: Optional[BaseException] = None
         self._generator = generator
@@ -252,14 +300,13 @@ class Thread:
         #: has at most one entry in the heap at a time, so the list object is
         #: recycled across delays instead of allocated per sleep.
         self._heap_entry: Optional[list] = None
+        #: global arrival stamp assigned each time the thread becomes
+        #: runnable; the deterministic node-merge order is (node, _stamp).
+        self._stamp = 0
         #: time at which the thread became runnable/finished, for accounting.
         self.finished_at: Optional[float] = None
 
     # -- queries --------------------------------------------------------------
-
-    @property
-    def alive(self) -> bool:
-        return self.state not in (ThreadState.FINISHED, ThreadState.FAILED)
 
     @property
     def failed(self) -> bool:
@@ -297,7 +344,7 @@ class Thread:
         self.scheduler._make_runnable(self)
 
     def __repr__(self) -> str:
-        return f"Thread(#{self.ident} {self.name!r} {self.state.value})"
+        return f"Thread(#{self.ident} {self.name!r} {self.state.value} node={self.node})"
 
 
 class _JoinSentinelEvent(Event):
@@ -344,6 +391,31 @@ class FifoSchedulingPolicy(SchedulingPolicy):
         return 0
 
 
+class NodeMergeSchedulingPolicy(SchedulingPolicy):
+    """Deterministic cluster merge order: lowest node first, then arrival.
+
+    At equal simulated time the runnable thread with the smallest
+    ``(node, arrival stamp)`` pair runs first.  This is the tie-break rule of
+    the sharded event loop (time is handled by the delayed heap; the stamp is
+    the per-node sequence), expressed as an ordinary policy so a plain
+    :class:`Scheduler` produces the *identical* schedule — the sequential
+    reference that :class:`ShardedScheduler` and the parallel executor are
+    pinned against.
+    """
+
+    def select(self, runnable: Sequence[Thread], rng: random.Random) -> int:
+        best = 0
+        thread = runnable[0]
+        best_key = (thread.node, thread._stamp)
+        for index in range(1, len(runnable)):
+            thread = runnable[index]
+            key = (thread.node, thread._stamp)
+            if key < best_key:
+                best_key = key
+                best = index
+        return best
+
+
 # ---------------------------------------------------------------------------
 # The scheduler proper
 # ---------------------------------------------------------------------------
@@ -379,6 +451,9 @@ class Scheduler:
         #: thread's entry can be recycled across repeated delays).
         self._delayed: list[list] = []
         self._seq = itertools.count()
+        #: arrival stamps for the deterministic node-merge order; one global
+        #: monotone counter shared by every sub-queue.
+        self._stamp_counter = itertools.count()
         self._threads: list[Thread] = []
         self._failures: list[Thread] = []
         self.current_thread: Optional[Thread] = None
@@ -387,6 +462,9 @@ class Scheduler:
         #: set by abort(): the run loops re-raise it instead of stepping on,
         #: so one thread can take the whole scheduler down (crash injection).
         self._abort: Optional[BaseException] = None
+        #: per-node schedule hashers (None = recording off); see
+        #: :meth:`enable_schedule_hash`.
+        self._schedule_hash: Optional[Dict[int, Any]] = None
 
     # -- time -------------------------------------------------------------------
 
@@ -406,12 +484,16 @@ class Scheduler:
         *args: Any,
         name: Optional[str] = None,
         daemon: bool = False,
+        node: Optional[int] = None,
         **kwargs: Any,
     ) -> Thread:
         """Create a new thread from a generator function (or generator).
 
         The thread becomes runnable immediately; it first runs when the
-        scheduler next picks it.
+        scheduler next picks it.  ``node`` places the thread on a cluster
+        node; by default a thread inherits the node of the thread that
+        spawned it (so e.g. a flush daemon's helper threads stay on the
+        daemon's node), and threads spawned from outside run on node 0.
         """
         if callable(target):
             generator = target(*args, **kwargs)
@@ -425,7 +507,10 @@ class Scheduler:
             raise SchedulerError(
                 f"spawn() needs a generator function, got {type(generator).__name__}"
             )
-        thread = Thread(self, generator, name or default_name, daemon=daemon)
+        if node is None:
+            current = self.current_thread
+            node = current.node if current is not None else 0
+        thread = Thread(self, generator, name or default_name, daemon=daemon, node=node)
         self._threads.append(thread)
         self._make_runnable(thread)
         return thread
@@ -459,7 +544,77 @@ class Scheduler:
     def _check_abort(self) -> None:
         if self._abort is not None:
             exc, self._abort = self._abort, None
+            # The machine died: daemons (flush/WAL/cleaner service threads,
+            # including lazily-spawned ones sitting in per-node sub-queues)
+            # must not survive into the post-crash recovery run, or an armed
+            # crash point can leave a sub-queue non-empty and hang the
+            # recovery matrix.
+            self.cancel_daemons()
             raise exc
+
+    def cancel_daemons(self) -> int:
+        """Terminate every live daemon thread without running it further.
+
+        Models a crash taking the service threads down with the machine: the
+        generators are abandoned mid-flight (no ``finally`` cleanup runs, as
+        none would on a real power failure) and their queue entries are
+        purged so no sub-queue retains work.  Returns the number cancelled.
+        """
+        now = self.clock.now()
+        cancelled = 0
+        for thread in self._threads:
+            if thread.alive and thread.daemon:
+                thread.alive = False
+                thread.state = ThreadState.FINISHED
+                thread.finished_at = now
+                waiting = thread._waiting_on
+                if waiting is not None:
+                    waiting._remove_waiter(thread)
+                    thread._waiting_on = None
+                cancelled += 1
+        if cancelled:
+            self._purge_dead()
+        return cancelled
+
+    def _purge_dead(self) -> None:
+        """Drop dead threads from the runnable/delayed structures."""
+        self._runnable[:] = [t for t in self._runnable if t.alive]
+        live = [entry for entry in self._delayed if entry[2].alive]
+        if len(live) != len(self._delayed):
+            self._delayed[:] = live
+            heapq.heapify(self._delayed)
+
+    # -- schedule recording ----------------------------------------------------
+
+    def enable_schedule_hash(self) -> None:
+        """Record a per-node hash of the executed schedule.
+
+        Every step folds ``(time, thread name)`` into the hasher of the
+        stepped thread's node.  Per-node streams (rather than one global
+        stream) are what make the digests comparable across the sequential,
+        sharded and parallel executors: a worker process reproduces exactly
+        its own node's stream.
+        """
+        if self._schedule_hash is None:
+            self._schedule_hash = {}
+
+    @property
+    def schedule_hash_enabled(self) -> bool:
+        return self._schedule_hash is not None
+
+    def schedule_digests(self) -> Dict[int, str]:
+        """Hex digests of the per-node schedule streams recorded so far."""
+        if self._schedule_hash is None:
+            return {}
+        return {node: h.hexdigest() for node, h in sorted(self._schedule_hash.items())}
+
+    def _record_step(self, thread: Thread) -> None:
+        hashers = self._schedule_hash
+        node = thread.node
+        h = hashers.get(node)
+        if h is None:
+            h = hashers[node] = blake2b(digest_size=16)
+        h.update(b"%r %s\n" % (self.clock.now(), thread.name.encode()))
 
     # -- the run loop ---------------------------------------------------------------
 
@@ -468,35 +623,47 @@ class Scheduler:
         until: Optional[float] = None,
         max_steps: Optional[int] = None,
         raise_failures: bool = True,
+        inclusive: bool = False,
     ) -> float:
         """Run threads until nothing remains runnable or delayed.
 
         ``until`` bounds (virtual or real) time: the scheduler stops once the
-        clock would pass it.  Returns the clock value when the run stopped.
+        clock would pass it.  By default threads scheduled at exactly
+        ``until`` are released but not executed; ``inclusive`` also executes
+        everything due at that instant (the parallel executor's end
+        protocol needs both edges).  Returns the clock value when the run
+        stopped.
         """
+        runnable = self._runnable
+        delayed = self._delayed
+        clock = self.clock
+        step = self._step
         steps = 0
         while True:
-            self._check_abort()
+            if self._abort is not None:
+                self._check_abort()
             if max_steps is not None and steps >= max_steps:
                 break
-            if until is not None and self.now >= until:
-                break
-            if self._runnable:
-                self._step()
+            if until is not None:
+                now = clock.now()
+                if now > until or not inclusive and now >= until:
+                    break
+            if runnable:
+                step()
                 steps += 1
                 continue
-            if self._delayed:
-                wake_time = self._delayed[0][0]
+            if delayed:
+                wake_time = delayed[0][0]
                 if until is not None and wake_time > until:
-                    self.clock.advance_to(until)
+                    clock.advance_to(until)
                     break
-                self.clock.advance_to(wake_time)
-                self._release_expired()
+                clock.advance_to(wake_time)
+                self._release_expired(wake_time)
                 continue
             break
         if raise_failures:
             self._raise_pending_failure()
-        return self.now
+        return clock.now()
 
     def run_until_complete(self, thread: Thread, raise_failures: bool = True) -> Any:
         """Drive the scheduler until ``thread`` terminates; return its result.
@@ -504,19 +671,31 @@ class Scheduler:
         Raises :class:`DeadlockError` if the thread can never complete
         because nothing is runnable or delayed.
         """
+        runnable = self._runnable
+        delayed = self._delayed
+        clock = self.clock
+        step = self._step
         while thread.alive:
-            self._check_abort()
-            if self._runnable:
-                self._step()
-            elif self._delayed:
-                self.clock.advance_to(self._delayed[0][0])
-                self._release_expired()
+            if self._abort is not None:
+                self._check_abort()
+            if runnable:
+                step()
+            elif delayed:
+                wake_time = delayed[0][0]
+                clock.advance_to(wake_time)
+                self._release_expired(wake_time)
             else:
-                blocked = [t.name for t in self._threads if t.alive and not t.daemon]
-                raise DeadlockError(
-                    f"thread {thread.name!r} cannot complete: no runnable or delayed "
-                    f"threads remain (blocked non-daemon threads: {blocked})"
-                )
+                self._raise_deadlock(thread)
+        return self._finish_run(thread, raise_failures)
+
+    def _raise_deadlock(self, thread: Thread) -> None:
+        blocked = [t.name for t in self._threads if t.alive and not t.daemon]
+        raise DeadlockError(
+            f"thread {thread.name!r} cannot complete: no runnable or delayed "
+            f"threads remain (blocked non-daemon threads: {blocked})"
+        )
+
+    def _finish_run(self, thread: Thread, raise_failures: bool) -> Any:
         if thread in self._failures:
             self._failures.remove(thread)
         if thread.exception is not None:
@@ -538,13 +717,20 @@ class Scheduler:
 
     def _make_runnable(self, thread: Thread) -> None:
         thread.state = ThreadState.RUNNABLE
+        thread._stamp = next(self._stamp_counter)
         self._runnable.append(thread)
 
-    def _release_expired(self) -> None:
-        now = self.now
-        while self._delayed and self._delayed[0][0] <= now:
-            _, _, thread = heapq.heappop(self._delayed)
-            if thread.alive and thread.state is ThreadState.DELAYED:
+    def _release_expired(self, now: Optional[float] = None) -> None:
+        delayed = self._delayed
+        if not delayed:
+            return
+        if now is None:
+            now = self.clock.now()
+        pop = heapq.heappop
+        delayed_state = ThreadState.DELAYED
+        while delayed and delayed[0][0] <= now:
+            thread = pop(delayed)[2]
+            if thread.alive and thread.state is delayed_state:
                 thread._send_value = None
                 self._make_runnable(thread)
 
@@ -561,6 +747,12 @@ class Scheduler:
             thread = runnable.pop(index)
         if not thread.alive:
             return
+        self._execute(thread)
+
+    def _execute(self, thread: Thread) -> None:
+        """Resume ``thread`` once and dispatch whatever it yields."""
+        if self._schedule_hash is not None:
+            self._record_step(thread)
         self.current_thread = thread
         thread.state = ThreadState.RUNNING
         self.context_switches += 1
@@ -578,7 +770,11 @@ class Scheduler:
         self._dispatch(thread, command)
 
     def _dispatch(self, thread: Thread, command: Any) -> None:
-        if isinstance(command, Delay):
+        # Exact-type tests: the command classes are final in practice (the
+        # interned singletons cover the hottest yields) and this dispatch
+        # runs once per context switch.
+        cls = command.__class__
+        if cls is Delay:
             thread.state = ThreadState.DELAYED
             entry = thread._heap_entry
             if entry is None:
@@ -586,10 +782,10 @@ class Scheduler:
             # The entry is guaranteed out of the heap here (a DELAYED thread
             # cannot yield another Delay before _release_expired pops it),
             # so mutate and re-push instead of allocating a fresh tuple.
-            entry[0] = self.now + command.seconds
+            entry[0] = self.clock.now() + command.seconds
             entry[1] = next(self._seq)
-            heapq.heappush(self._delayed, entry)
-        elif isinstance(command, WaitEvent):
+            self._push_delayed(thread, entry)
+        elif cls is WaitEvent:
             consumed, value = command.event._consume_pending()
             if consumed:
                 thread._send_value = value
@@ -598,13 +794,24 @@ class Scheduler:
                 thread.state = ThreadState.BLOCKED
                 thread._waiting_on = command.event
                 command.event._add_waiter(thread)
-        elif isinstance(command, Reschedule) or command is None:
+        elif cls is Reschedule or command is None:
             self._make_runnable(thread)
+        elif isinstance(command, (Delay, WaitEvent, Reschedule)):
+            # A subclassed command: route through the exact-type branches.
+            if isinstance(command, Delay):
+                self._dispatch(thread, Delay(command.seconds))
+            elif isinstance(command, WaitEvent):
+                self._dispatch(thread, WaitEvent(command.event))
+            else:
+                self._make_runnable(thread)
         else:
             error = SchedulerError(
                 f"thread {thread.name!r} yielded an unknown command: {command!r}"
             )
             self._finish(thread, exception=error)
+
+    def _push_delayed(self, thread: Thread, entry: list) -> None:
+        heapq.heappush(self._delayed, entry)
 
     def _finish(
         self,
@@ -615,7 +822,8 @@ class Scheduler:
         thread.result = result
         thread.exception = exception
         thread.state = ThreadState.FAILED if exception is not None else ThreadState.FINISHED
-        thread.finished_at = self.now
+        thread.alive = False
+        thread.finished_at = self.clock.now()
         joiners, thread._joiners = thread._joiners, []
         if exception is not None and not joiners:
             # Nobody is waiting to observe the failure; remember it so run()
@@ -631,3 +839,331 @@ class Scheduler:
         raise SchedulerError(
             f"thread {thread.name!r} died with an unhandled exception"
         ) from thread.exception
+
+
+# ---------------------------------------------------------------------------
+# The sharded event loop
+# ---------------------------------------------------------------------------
+
+
+class ShardedScheduler(Scheduler):
+    """Per-node sub-queues with a deterministic cross-node merge.
+
+    The global runnable list and delayed heap of :class:`Scheduler` are
+    split by cluster node: each node owns a FIFO deque of runnable threads
+    and a min-heap of delayed ones.  Because arrival stamps are drawn from
+    one global counter and each deque is FIFO, the head of the lowest-index
+    non-empty deque *is* the global ``(node, stamp)`` minimum — so stepping
+    sub-queues in node order reproduces, step for step, the schedule of a
+    plain scheduler under :class:`NodeMergeSchedulingPolicy` without the
+    O(runnable) policy scan.
+
+    Cross-node wake-ups (a thread on node *i* signalling a thread on node
+    *j*) pass through a small transfer queue that is folded into the
+    destination deques at the start of the next step; since no release or
+    external wake can interleave before that step, stamp order within every
+    deque is preserved.
+
+    Clock advances use the conservative-window rule of parallel discrete
+    event simulation: when the earliest delayed wake-up belongs to node *k*
+    and is *strictly earlier* than every other node's earliest wake-up, only
+    node *k*'s heap is consulted (a node-local window); the full cross-node
+    merge runs only when two nodes' windows touch.  In-process the window
+    closes at the other nodes' earliest event because shared-memory
+    interactions have zero lookahead; across worker processes the NIC
+    delivery latency widens it (see :mod:`repro.core.parallel`).
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        policy: Optional[SchedulingPolicy] = None,
+        nodes: int = 1,
+    ):
+        super().__init__(
+            clock,
+            seed,
+            policy if policy is not None else NodeMergeSchedulingPolicy(),
+        )
+        self.nodes = max(int(nodes), 1)
+        self._run_q: list[deque[Thread]] = [deque() for _ in range(self.nodes)]
+        self._delay_q: list[list[list]] = [[] for _ in range(self.nodes)]
+        self._cross: deque[Thread] = deque()
+        self._runnable_count = 0
+        self._min_node = self.nodes
+        #: statistics: how often the loop crossed a node boundary vs stayed
+        #: inside one node's conservative window.
+        self.cross_node_wakes = 0
+        self.window_batches = 0
+        self.window_releases = 0
+
+    # -- sub-queue bookkeeping -------------------------------------------------
+
+    def _make_runnable(self, thread: Thread) -> None:
+        thread.state = ThreadState.RUNNABLE
+        thread._stamp = next(self._stamp_counter)
+        self._runnable_count += 1
+        node = thread.node
+        current = self.current_thread
+        if current is not None and current.node != node:
+            # A cross-node wake-up: park it on the transfer queue; it is
+            # folded into the destination deque at the next step, before any
+            # other wake source can run, so deque stamp order is preserved.
+            self._cross.append(thread)
+            self.cross_node_wakes += 1
+        else:
+            if self._cross:
+                # A direct append (spawn, release, same-node wake) while
+                # cross-parked wake-ups are pending: fold them first — they
+                # carry older stamps and must precede this thread in its
+                # deque.  Happens when a run loop returns with parked wakes
+                # (e.g. the awaited thread finished mid-instant) and the
+                # caller then spawns or releases before stepping again.
+                self._drain_cross()
+            self._run_q[node].append(thread)
+            if node < self._min_node:
+                self._min_node = node
+
+    def _drain_cross(self) -> None:
+        cross = self._cross
+        run_q = self._run_q
+        min_node = self._min_node
+        while cross:
+            thread = cross.popleft()
+            node = thread.node
+            run_q[node].append(thread)
+            if node < min_node:
+                min_node = node
+        self._min_node = min_node
+
+    def _step(self) -> None:
+        if self._cross:
+            self._drain_cross()
+        node = self._min_node
+        run_q = self._run_q
+        q = run_q[node]
+        thread = q.popleft()
+        self._runnable_count -= 1
+        if not q:
+            # Advance to the next non-empty deque *before* running the
+            # thread: wake-ups during the step re-lower _min_node as needed.
+            nodes = self.nodes
+            node += 1
+            while node < nodes and not run_q[node]:
+                node += 1
+            self._min_node = node
+        if not thread.alive:
+            return
+        self._execute(thread)
+
+    def _push_delayed(self, thread: Thread, entry: list) -> None:
+        heapq.heappush(self._delay_q[thread.node], entry)
+
+    def _release_expired(self, now: Optional[float] = None) -> None:
+        """Release every delayed thread due at or before the current time,
+        merging the per-node heaps in global (time, seq) order."""
+        if now is None:
+            now = self.clock.now()
+        heaps = self._delay_q
+        delayed_state = ThreadState.DELAYED
+        while True:
+            best = None
+            best_node = -1
+            for node, heap in enumerate(heaps):
+                if heap:
+                    head = heap[0]
+                    if head[0] <= now and (best is None or head < best):
+                        best = head
+                        best_node = node
+            if best is None:
+                return
+            heapq.heappop(heaps[best_node])
+            thread = best[2]
+            if thread.alive and thread.state is delayed_state:
+                thread._send_value = None
+                self._make_runnable(thread)
+
+    def _release_node(self, node: int, now: Optional[float] = None) -> None:
+        """Node-local window release: pop due entries from one heap only."""
+        heap = self._delay_q[node]
+        if now is None:
+            now = self.clock.now()
+        pop = heapq.heappop
+        delayed_state = ThreadState.DELAYED
+        released = 0
+        while heap and heap[0][0] <= now:
+            thread = pop(heap)[2]
+            released += 1
+            if thread.alive and thread.state is delayed_state:
+                thread._send_value = None
+                self._make_runnable(thread)
+        self.window_releases += released
+
+    def _earliest_delayed(self) -> tuple[int, float, float]:
+        """(node, wake time, next other node's wake time) of the earliest
+        delayed thread; node is -1 when nothing is delayed."""
+        best_node = -1
+        best = 0.0
+        other = float("inf")
+        for node, heap in enumerate(self._delay_q):
+            if heap:
+                t = heap[0][0]
+                if best_node < 0 or t < best:
+                    if best_node >= 0 and best < other:
+                        other = best
+                    best = t
+                    best_node = node
+                elif t < other:
+                    other = t
+        return best_node, best, other
+
+    def _advance_clock(self) -> bool:
+        """Advance time to the earliest delayed wake-up and release it.
+
+        Uses the node-local window when the earliest wake-up is strictly
+        before every other node's: only that node's heap is touched.
+        Returns False when nothing is delayed.
+        """
+        node, wake, other = self._earliest_delayed()
+        if node < 0:
+            return False
+        self.clock.advance_to(wake)
+        if wake < other:
+            self.window_batches += 1
+            self._release_node(node, wake)
+        else:
+            self._release_expired(wake)
+        return True
+
+    # -- run loops --------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        raise_failures: bool = True,
+        inclusive: bool = False,
+    ) -> float:
+        clock = self.clock
+        step = self._step
+        heaps = self._delay_q
+        infinity = float("inf")
+        steps = 0
+        while True:
+            if self._abort is not None:
+                self._check_abort()
+            if max_steps is not None and steps >= max_steps:
+                break
+            if until is not None:
+                now = clock.now()
+                if now > until or not inclusive and now >= until:
+                    break
+            if self._runnable_count:
+                step()
+                steps += 1
+                continue
+            # Inlined _earliest_delayed: scan the per-node heap heads for the
+            # earliest wake-up and the next other node's earliest.
+            best_node = -1
+            wake = 0.0
+            other = infinity
+            for node, heap in enumerate(heaps):
+                if heap:
+                    t = heap[0][0]
+                    if best_node < 0 or t < wake:
+                        if best_node >= 0 and wake < other:
+                            other = wake
+                        wake = t
+                        best_node = node
+                    elif t < other:
+                        other = t
+            if best_node < 0:
+                break
+            if until is not None and wake > until:
+                clock.advance_to(until)
+                break
+            clock.advance_to(wake)
+            if wake < other:
+                self.window_batches += 1
+                self._release_node(best_node, wake)
+            else:
+                self._release_expired(wake)
+        if raise_failures:
+            self._raise_pending_failure()
+        return clock.now()
+
+    def run_until_complete(self, thread: Thread, raise_failures: bool = True) -> Any:
+        step = self._step
+        heaps = self._delay_q
+        advance_to = self.clock.advance_to
+        infinity = float("inf")
+        while thread.alive:
+            if self._abort is not None:
+                self._check_abort()
+            if self._runnable_count:
+                step()
+                continue
+            # Inlined _advance_clock: find the earliest delayed wake-up and
+            # release within the node-local window when it is strictly
+            # earlier than every other node's.
+            best_node = -1
+            wake = 0.0
+            other = infinity
+            for node, heap in enumerate(heaps):
+                if heap:
+                    t = heap[0][0]
+                    if best_node < 0 or t < wake:
+                        if best_node >= 0 and wake < other:
+                            other = wake
+                        wake = t
+                        best_node = node
+                    elif t < other:
+                        other = t
+            if best_node < 0:
+                self._raise_deadlock(thread)
+            advance_to(wake)
+            if wake < other:
+                self.window_batches += 1
+                self._release_node(best_node, wake)
+            else:
+                self._release_expired(wake)
+        return self._finish_run(thread, raise_failures)
+
+    # -- crash cleanup -----------------------------------------------------------
+
+    def _purge_dead(self) -> None:
+        count = 0
+        min_node = self.nodes
+        for node, q in enumerate(self._run_q):
+            if q:
+                live = [t for t in q if t.alive]
+                q.clear()
+                q.extend(live)
+                if live and node < min_node:
+                    min_node = node
+                count += len(live)
+        live_cross = [t for t in self._cross if t.alive]
+        self._cross.clear()
+        self._cross.extend(live_cross)
+        count += len(live_cross)
+        self._runnable_count = count
+        self._min_node = min_node
+        for heap in self._delay_q:
+            live_entries = [entry for entry in heap if entry[2].alive]
+            if len(live_entries) != len(heap):
+                heap[:] = live_entries
+                heapq.heapify(heap)
+
+    # -- introspection ------------------------------------------------------------
+
+    def queue_snapshot(self) -> Dict[str, Any]:
+        """Per-node queue depths, for the cluster statistics report."""
+        return {
+            "runnable": [len(q) for q in self._run_q],
+            "delayed": [len(h) for h in self._delay_q],
+            "cross_queue": len(self._cross),
+            "cross_node_wakes": self.cross_node_wakes,
+            "window_batches": self.window_batches,
+            "window_releases": self.window_releases,
+        }

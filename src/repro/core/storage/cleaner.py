@@ -102,6 +102,7 @@ class CleanerDaemon:
         low_water: float = 0.2,
         high_water: float = 0.4,
         check_interval: float = 5.0,
+        node: int = 0,
     ):
         if not (0.0 <= low_water < high_water <= 1.0):
             raise ConfigurationError("cleaner water marks must satisfy 0 <= low < high <= 1")
@@ -111,12 +112,15 @@ class CleanerDaemon:
         self.low_water = low_water
         self.high_water = high_water
         self.check_interval = check_interval
+        self.node = node
         self.segments_cleaned = 0
         self.blocks_copied = 0
         self.thread: Optional[Thread] = None
 
     def start(self) -> Thread:
-        self.thread = self.scheduler.spawn(self._run, name="lfs-cleaner", daemon=True)
+        self.thread = self.scheduler.spawn(
+            self._run, name="lfs-cleaner", daemon=True, node=self.node
+        )
         return self.thread
 
     def _run(self) -> Generator[Any, Any, None]:

@@ -97,6 +97,11 @@ class LogStructuredLayout(StorageLayout):
             raise StorageError(
                 f"volume too small for LFS: {self.num_segments} segments of {segment_blocks} blocks"
             )
+        # Geometry is static: resolve each segment's disk once instead of a
+        # volume address translation on every activation/pick.
+        self._segment_disk: list[int] = [
+            volume.disk_of(start) for start in self._segment_starts
+        ]
         # --- IFILE / inode map: inode number -> (log address, blocks) -------
         self.inode_map: dict[int, tuple[int, int]] = {}
         # --- segment accounting ------------------------------------------------
@@ -524,18 +529,26 @@ class LogStructuredLayout(StorageLayout):
         self._active_segment = segment
         self._active_offset = 1
         self.segment_summaries[segment] = []
-        self._last_disk = self.volume.disk_of(self.segment_start(segment))
+        self._last_disk = self._segment_disk[segment]
 
     def _pick_free_segment(self) -> int:
         if not self.free_segments:
             raise NoSpaceLeft("no free LFS segments left (cleaner cannot keep up)")
         # Prefer a segment on a different disk from the last one so that
-        # consecutive segment writes can proceed in parallel.
-        candidates = sorted(self.free_segments)
-        for segment in candidates:
-            if self.volume.disk_of(self.segment_start(segment)) != self._last_disk:
-                return segment
-        return candidates[0]
+        # consecutive segment writes can proceed in parallel.  One O(F) pass
+        # tracking the lowest free segment overall and the lowest on another
+        # disk — the same selection the old sorted() scan made, without
+        # sorting the free set on every activation.
+        last = self._last_disk
+        disks = self._segment_disk
+        best: Optional[int] = None
+        other: Optional[int] = None
+        for segment in self.free_segments:
+            if best is None or segment < best:
+                best = segment
+            if disks[segment] != last and (other is None or segment < other):
+                other = segment
+        return other if other is not None else best  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ helpers
 

@@ -22,6 +22,7 @@ one logical write is one device operation.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from typing import Any, Generator, Optional, Sequence
 
 from repro.core.driver import DiskDriver, IORequest
@@ -121,10 +122,7 @@ class LocalVolume(Volume):
     def disk_of(self, block_addr: int) -> int:
         """Index of the disk holding ``block_addr``."""
         self._check(block_addr, 1)
-        for index in range(len(self.drivers) - 1, -1, -1):
-            if block_addr >= self._disk_starts[index]:
-                return index
-        raise DiskAddressError(f"block address {block_addr} not on any disk")
+        return bisect_right(self._disk_starts, block_addr) - 1
 
     def locate(self, block_addr: int) -> tuple[DiskDriver, int]:
         """(driver, first sector) for a block address."""
@@ -181,7 +179,9 @@ class LocalVolume(Volume):
             )
 
     def _check_single_disk(self, block_addr: int, nblocks: int) -> None:
-        if self.disk_of(block_addr) != self.disk_of(block_addr + nblocks - 1):
+        # Callers bounds-check first; one bisect pair, no redundant checks.
+        starts = self._disk_starts
+        if bisect_right(starts, block_addr) != bisect_right(starts, block_addr + nblocks - 1):
             raise StorageError(
                 f"block run [{block_addr}, {block_addr + nblocks}) crosses a disk boundary"
             )

@@ -34,6 +34,7 @@ class Semaphore:
             raise ValueError("semaphore initial value must be >= 0")
         self.scheduler = scheduler
         self.name = name
+        self._wait_name = f"{name}-wait"
         self._value = value
         self._waiters: Deque[Event] = deque()
 
@@ -50,7 +51,7 @@ class Semaphore:
         if self._value > 0 and not self._waiters:
             self._value -= 1
             return
-        gate = self.scheduler.new_event(f"{self.name}-wait")
+        gate = self.scheduler.new_event(self._wait_name)
         self._waiters.append(gate)
         yield from gate.wait()
 
@@ -81,8 +82,8 @@ class Resource:
 
     This models contention points such as the SCSI-2 bus ("if the connection
     is already in use, the disk driver waits until the connection is released
-    again").  The resource records the distribution of queue lengths seen by
-    arrivals so statistics plug-ins can report on contention.
+    again").  The resource keeps running aggregates of the queue lengths seen
+    by arrivals so statistics plug-ins can report on contention.
     """
 
     def __init__(self, scheduler: Scheduler, capacity: int = 1, name: str = "resource"):
@@ -91,11 +92,13 @@ class Resource:
         self.scheduler = scheduler
         self.capacity = capacity
         self.name = name
+        self._wait_name = f"{name}-wait"
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         self.total_acquisitions = 0
         self.total_wait_time = 0.0
-        self.queue_length_samples: list[int] = []
+        self.queue_length_sum = 0
+        self.max_queue_length = 0
 
     @property
     def in_use(self) -> int:
@@ -107,15 +110,21 @@ class Resource:
 
     def acquire(self) -> Generator[Any, Any, None]:
         """``yield from resource.acquire()``: wait for a free slot."""
-        self.queue_length_samples.append(len(self._waiters))
+        queued = len(self._waiters)
+        self.queue_length_sum += queued
+        if queued > self.max_queue_length:
+            self.max_queue_length = queued
+        if self._in_use < self.capacity and not queued:
+            # Uncontended: no yield happens, so no simulated time can pass
+            # and the wait contribution is exactly zero.
+            self._in_use += 1
+            self.total_acquisitions += 1
+            return
         arrived = self.scheduler.now
-        if self._in_use < self.capacity and not self._waiters:
-            self._in_use += 1
-        else:
-            gate = self.scheduler.new_event(f"{self.name}-wait")
-            self._waiters.append(gate)
-            yield from gate.wait()
-            self._in_use += 1
+        gate = self.scheduler.new_event(self._wait_name)
+        self._waiters.append(gate)
+        yield from gate.wait()
+        self._in_use += 1
         self.total_acquisitions += 1
         self.total_wait_time += self.scheduler.now - arrived
 
@@ -141,6 +150,12 @@ class Resource:
             return 0.0
         return self.total_wait_time / self.total_acquisitions
 
+    @property
+    def mean_queue_length(self) -> float:
+        if self.total_acquisitions == 0:
+            return 0.0
+        return self.queue_length_sum / self.total_acquisitions
+
     def __repr__(self) -> str:
         return (
             f"Resource({self.name!r}, capacity={self.capacity}, "
@@ -159,6 +174,7 @@ class Channel:
     def __init__(self, scheduler: Scheduler, name: str = "channel"):
         self.scheduler = scheduler
         self.name = name
+        self._get_name = f"{name}-get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self.total_puts = 0
@@ -174,7 +190,9 @@ class Channel:
     def put(self, item: Any) -> None:
         self._items.append(item)
         self.total_puts += 1
-        self.max_depth = max(self.max_depth, len(self._items))
+        depth = len(self._items)
+        if depth > self.max_depth:
+            self.max_depth = depth
         if self._getters:
             gate = self._getters.popleft()
             gate.signal()
@@ -182,7 +200,7 @@ class Channel:
     def get(self) -> Generator[Any, Any, Any]:
         """``item = yield from channel.get()``."""
         while not self._items:
-            gate = self.scheduler.new_event(f"{self.name}-get")
+            gate = self.scheduler.new_event(self._get_name)
             self._getters.append(gate)
             yield from gate.wait()
         return self._items.popleft()

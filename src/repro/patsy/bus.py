@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.core.scheduler import Scheduler
+from repro.core.scheduler import Delay, Scheduler
 from repro.core.sync import Resource
 from repro.errors import ConfigurationError
 from repro.units import MB
@@ -55,12 +55,15 @@ class ScsiBus:
     def transfer(self, nbytes: int) -> Generator[Any, Any, None]:
         """Hold the bus long enough to move ``nbytes`` (plus arbitration)."""
         yield from self._resource.acquire()
-        started = self.scheduler.now
+        hold = self.transfer_time(nbytes)
         try:
-            yield from self.scheduler.sleep(self.transfer_time(nbytes))
-        finally:
-            self.busy_time += self.scheduler.now - started
+            yield Delay(hold)
+        except BaseException:
             self._resource.release()
+            raise
+        # An uninterrupted Delay advances the clock by exactly ``hold``.
+        self.busy_time += hold
+        self._resource.release()
         self.bytes_transferred += nbytes
         self.transfers += 1
 

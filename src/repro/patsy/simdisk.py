@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from repro.core.driver import IOKind, IORequest
-from repro.core.scheduler import Event, Scheduler
+from repro.core.scheduler import Delay, Event, Scheduler
 from repro.core.sync import Channel
 from repro.patsy.bus import ScsiBus
 from repro.patsy.diskspec import DiskSpec
@@ -60,11 +60,13 @@ class SimulatedDisk:
         spec: DiskSpec,
         bus: ScsiBus,
         name: str = "disk0",
+        node: int = 0,
     ):
         self.scheduler = scheduler
         self.spec = spec
         self.bus = bus
         self.name = name
+        self.node = node
         self.stats = DiskStatistics()
         self._work: Channel = Channel(scheduler, name=f"{name}-work")
         self._current_cylinder = 0
@@ -77,7 +79,9 @@ class SimulatedDisk:
         #: when the disk last finished servicing a request (idle time since
         #: then is spent destaging the write cache in the background).
         self._idle_since = 0.0
-        self._thread = scheduler.spawn(self._controller, name=f"{name}-controller", daemon=True)
+        self._thread = scheduler.spawn(
+            self._controller, name=f"{name}-controller", daemon=True, node=node
+        )
 
     # -- geometry ------------------------------------------------------------------
 
@@ -136,13 +140,13 @@ class SimulatedDisk:
             owed = self._pending_destage_time
             self._pending_destage_time = 0.0
             self._pending_destage_bytes = 0
-            yield from self.scheduler.sleep(owed)
+            yield Delay(owed)
 
     def _service(self, request: IORequest) -> Generator[Any, Any, None]:
         spec = self.spec
         self.stats.requests += 1
         # Controller/command decode overhead.
-        yield from self.scheduler.sleep(spec.controller_overhead)
+        yield Delay(spec.controller_overhead)
         if request.kind is IOKind.READ:
             yield from self._service_read(request)
         else:
@@ -200,7 +204,7 @@ class SimulatedDisk:
         self.stats.total_rotational_delay += rotation
         self.stats.total_transfer_time += transfer
         self.stats.rotational_delays.append(rotation)
-        yield from self.scheduler.sleep(seek_time + rotation + transfer)
+        yield Delay(seek_time + rotation + transfer)
         self._advance_position(request)
 
     def _mechanical_time(self, request: IORequest) -> float:

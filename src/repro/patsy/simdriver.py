@@ -39,6 +39,7 @@ class SimulatedDiskDriver(DiskDriver):
         bus: Optional[ScsiBus] = None,
         name: str = "sim-disk0",
         io_scheduler: Optional[IoScheduler] = None,
+        node: int = 0,
     ):
         self.disk = disk
         self.bus = bus if bus is not None else disk.bus
@@ -48,6 +49,7 @@ class SimulatedDiskDriver(DiskDriver):
             io_scheduler=io_scheduler,
             num_sectors=disk.num_sectors,
             sector_size=disk.spec.sector_size,
+            node=node,
         )
 
     def _perform(self, request: IORequest) -> Generator[Any, Any, None]:
