@@ -268,6 +268,30 @@ def format_cluster_table(
             f"blocks-copied={rebalancer.get('blocks_copied', 0)} "
             f"skipped={rebalancer.get('migrations_skipped', 0)}"
         )
+    replication = cluster_stats.get("replication")
+    if replication:
+        line = (
+            f"replication: replicas={replication.get('replicas', 0)} "
+            f"files={replication.get('replicated_files', 0)} "
+            f"failover-reads={replication.get('failover_reads', 0)} "
+            f"under-replicated={replication.get('under_replicated_files', 0)}"
+        )
+        repairer = cluster_stats.get("repairer")
+        if repairer:
+            line += (
+                f" repaired={repairer.get('repaired_copies', 0)}"
+                f"+{repairer.get('promoted_files', 0)}p"
+                f" repair-MB={repairer.get('bytes_copied', 0) / (1024 * 1024):.1f}"
+            )
+        lines.append(line)
+    faults = cluster_stats.get("faults")
+    if faults:
+        lines.append(
+            f"faults: events={faults.get('events_applied', 0)} "
+            f"dead-volumes={len(faults.get('dead_volumes', []))} "
+            f"dead-nodes={len(faults.get('dead_nodes', []))} "
+            f"partitioned={len(faults.get('unreachable_volumes', []))}"
+        )
     parallel = cluster_stats.get("parallel")
     if parallel:
         jobs = parallel.get("jobs", 0)

@@ -52,6 +52,7 @@ from repro.core.storage.array import (
 from repro.core.storage.cleaner import CleanerDaemon, CleanerSet, make_cleaner
 from repro.core.storage.lfs import LogStructuredLayout
 from repro.core.storage.volume import LocalVolume, Volume
+from repro.errors import ConfigurationError
 
 # Imported for their registry side effects: the built-in layouts register
 # themselves under the "layout" kind when their module loads (lfs does so
@@ -137,6 +138,35 @@ class StorageStack:
             )
             self.cluster.rebalancer = rebalancer
             rebalancer.start()
+        # The repair loop exists only for replicated clusters (replicas=0
+        # spawns nothing — the byte-identity pin against the pre-replication
+        # stack).
+        if (
+            self.cluster is not None
+            and cluster_config is not None
+            and cluster_config.replicas > 0
+            and self.cluster.replication is not None
+            and cluster_config.repair
+        ):
+            from repro.core.cluster.replication import ReplicationRepairer
+
+            repairer = ReplicationRepairer(
+                self.scheduler,
+                self.layout,
+                self.cluster.placement,
+                self.cluster.replication,
+                self.cluster.faults,
+                self.cache,
+                fs=self.fs,
+                metadata=self.metadata,
+                interval=cluster_config.repair_interval,
+                workers=cluster_config.repair_workers,
+                crashpoints=self.crashpoints,
+            )
+            self.cluster.repairer = repairer
+            self.scheduler.spawn(
+                repairer.run, name="replication-repairer", daemon=True, node=0
+            )
 
 
 def _build_layout(
@@ -238,7 +268,12 @@ def build_stack(
                     return current.node if current is not None else 0
 
                 placement.bind_cluster(spec.volumes_per_node, _creator_node)
-            placement = ClusterPlacement(placement, cluster.nodes, spec.volumes_per_node)
+            placement = ClusterPlacement(
+                placement,
+                cluster.nodes,
+                spec.volumes_per_node,
+                replicas=cluster.replicas,
+            )
         nics = hardware.nics or binding.build_network(spec, scheduler)
         volumes: List[Volume] = []
         remote_volumes: dict = {}
@@ -360,6 +395,24 @@ def build_stack(
                 placement=placement,
                 remote_volumes=remote_volumes,
             )
+            # Every cluster stack carries a fault board; it stays inert (one
+            # attribute check per I/O) until a schedule applies an event.
+            from repro.core.faults import FaultState
+
+            faults = FaultState(volumes_per_node=spec.volumes_per_node)
+            topology.faults = faults
+            layout.faults = faults
+            if cluster.replicas > 0:
+                from repro.core.cluster.replication import ReplicaManager
+
+                if any(not hasattr(sub, "inode_map") for sub in sublayouts):
+                    raise ConfigurationError(
+                        "replication needs sub-layouts that can host foreign "
+                        "inode numbers (LFS); slot-mapped layouts cannot hold "
+                        "shadow inodes"
+                    )
+                layout.replication = ReplicaManager(scheduler, layout, placement, faults)
+                topology.replication = layout.replication
             if cluster.metadata:
                 # Imported here for their registry side effects ("wal" and
                 # "manifest" kinds) and to keep the metadata package out of
@@ -396,6 +449,10 @@ def build_stack(
                     crashpoints=crashpoints,
                 )
                 topology.metadata = metadata
+                if topology.replication is not None:
+                    # Creation-time replica re-homing (dead default volume
+                    # at first write) journals RSETs like a repair does.
+                    topology.replication.metadata = metadata
 
     return StorageStack(
         spec=spec,

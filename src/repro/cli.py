@@ -51,6 +51,8 @@ __all__ = [
     "stack_config",
     "add_cluster_flags",
     "cluster_replay_config",
+    "add_fault_flags",
+    "fault_schedule",
 ]
 
 
@@ -122,6 +124,55 @@ def add_cluster_flags(parser: argparse.ArgumentParser) -> argparse.ArgumentParse
         help="cap on concurrent worker processes (0 = one per node); implies --parallel",
     )
     return parser
+
+
+def add_fault_flags(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Add the ``--replicas`` / ``--fault`` availability flags."""
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="K",
+        help="keep K extra copies of every file on other failure domains "
+        "(default: 0, replication off)",
+    )
+    parser.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="KIND:TARGET@TIME[:DURATION]",
+        help="schedule a fault: disk_fail / node_crash / nic_partition / "
+        "slow_disk, e.g. --fault node_crash:1@20 "
+        "--fault nic_partition:2@10:5 (repeatable)",
+    )
+    return parser
+
+
+def fault_schedule(args: argparse.Namespace) -> list:
+    """Parse ``--fault`` specs into :class:`repro.core.faults.FaultEvent`s."""
+    from repro.core.faults import FaultEvent
+
+    events = []
+    for spec in args.fault:
+        head, _, tail = spec.partition("@")
+        kind, _, target = head.partition(":")
+        if not target or not tail:
+            raise ConfigurationError(
+                f"bad --fault spec {spec!r} (want KIND:TARGET@TIME[:DURATION])"
+            )
+        time_str, _, duration = tail.partition(":")
+        try:
+            events.append(
+                FaultEvent(
+                    time=float(time_str),
+                    kind=kind,
+                    target=int(target),
+                    duration=float(duration) if duration else 0.0,
+                )
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"bad --fault spec {spec!r}: {exc}") from exc
+    return events
 
 
 def cluster_replay_config(

@@ -405,6 +405,25 @@ class ClusterConfig:
     #: issues everything, the paper's shape) or ``"home"`` (each client is
     #: pinned round-robin to a node and its I/O starts there).
     client_entry: str = "front-end"
+    #: extra copies kept of every file (0 = no replication, the pre-existing
+    #: single-copy stack, byte-identical by construction).  Replica ``i`` of
+    #: a file homes on the next nodes after its primary's node (the next
+    #: volumes on a one-node cluster), so no two copies ever share a volume
+    #: — or a node, when there are enough nodes.  Writes fan out to every
+    #: copy (charged over the serving nodes' NICs); reads fail over to a
+    #: surviving copy when the fault harness kills a volume or node.
+    replicas: int = 0
+    #: run the :class:`~repro.core.cluster.replication.ReplicationRepairer`
+    #: daemon (``replicas > 0`` only): re-replicates under-replicated files
+    #: and flips dead primaries onto surviving copies after a fault.
+    repair: bool = True
+    #: how often (simulated seconds) the repairer checks for new faults.
+    repair_interval: float = 1.0
+    #: concurrent repair threads per scan.  1 (the default) repairs files
+    #: strictly in id order; higher values shard the scan round-robin
+    #: across worker threads so re-replication overlaps disk queueing —
+    #: how a real cluster races the next failure.
+    repair_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -449,6 +468,19 @@ class ClusterConfig:
             raise ConfigurationError("wal_checkpoint_bytes must be positive")
         if self.metadata_latency < 0 or self.metadata_bandwidth < 0:
             raise ConfigurationError("metadata device costs cannot be negative")
+        if not (0 <= self.replicas <= 6):
+            # The WAL packs a replica set into one i64 argument: up to seven
+            # 8-bit volume slots, so at most 6 extra copies.
+            raise ConfigurationError("replicas must be between 0 and 6")
+        if self.replicas > 0 and self.parallel:
+            raise ConfigurationError(
+                "replication is not supported under the parallel executor "
+                "(replica writes cross the node partition)"
+            )
+        if self.repair_interval <= 0:
+            raise ConfigurationError("repair_interval must be positive")
+        if self.repair_workers < 1:
+            raise ConfigurationError("repair_workers must be positive")
 
 
 @dataclass(frozen=True)
@@ -555,6 +587,7 @@ def cluster_config(
     placement: str = "directory",
     rebalance: bool = True,
     network_bandwidth: float = 100 * MB,
+    replicas: int = 0,
 ) -> SimulationConfig:
     """An N-node cluster of small storage servers behind one front end.
 
@@ -586,6 +619,7 @@ def cluster_config(
             nodes=nodes,
             rebalance=rebalance,
             network_bandwidth=network_bandwidth,
+            replicas=replicas,
         ),
         seed=seed,
     )

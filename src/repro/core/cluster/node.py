@@ -66,6 +66,11 @@ class ClusterTopology:
     remote_volumes: dict = field(default_factory=dict)
     #: the durable metadata tier (WAL + manifest), when enabled.
     metadata: Optional[Any] = None
+    #: the fault board (``repro.core.faults.FaultState``).
+    faults: Optional[Any] = None
+    #: replication data path + repair loop, when ``replicas`` > 0.
+    replication: Optional[Any] = None
+    repairer: Optional[Any] = None
 
     @property
     def num_nodes(self) -> int:

@@ -215,6 +215,13 @@ class ClusterRebalancer:
         old_home = placement.volume_of_file(file_id)
         if new_home == old_home or file_id == ROOT_INODE_NUMBER:
             return False
+        conflict = getattr(placement, "replication_conflict", None)
+        if conflict is not None and conflict(file_id, new_home):
+            # The target volume (or its node) holds one of the file's
+            # replicas: the primary landing there would collide with the
+            # shadow inode already carrying this inode number.
+            self.migrations_skipped += 1
+            return False
         new_sub = layout.sublayouts[new_home]
         old_sub = layout.sublayouts[old_home]
         if not hasattr(new_sub, "inode_map") or not hasattr(old_sub, "inode_map"):

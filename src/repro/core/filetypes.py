@@ -207,11 +207,19 @@ class BaseFile:
             break
         block.pin()
         block.busy = True
+        failed = False
         try:
             yield from self.fs.layout.read_file_block(self.inode, block_no, block)
+        except Exception:
+            failed = True
+            raise
         finally:
             block.busy = False
             block.unpin()
+            if failed and not block.pinned and not block.busy:
+                # A fill that died (dead volume, no live replica) must not
+                # linger in the cache as valid-looking data.
+                cache.invalidate(block)
             cache.notify_block_ready(self.file_id, block_no)
         return block
 
@@ -238,11 +246,17 @@ class BaseFile:
         if needs_old_data:
             block.pin()
             block.busy = True
+            failed = False
             try:
                 yield from self.fs.layout.read_file_block(self.inode, block_no, block)
+            except Exception:
+                failed = True
+                raise
             finally:
                 block.busy = False
                 block.unpin()
+                if failed and not block.pinned and not block.busy:
+                    cache.invalidate(block)
                 cache.notify_block_ready(self.file_id, block_no)
         return block
 

@@ -27,7 +27,7 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.assembly.registry import registry
 from repro.core.metadata.crash import CrashPoints
@@ -52,21 +52,29 @@ class Manifest:
     checkpoint_lsn: int
     #: the routing table at checkpoint time: file id -> home volume.
     overrides: Dict[int, int] = field(default_factory=dict)
+    #: the replica routing table at checkpoint time: file id -> replica
+    #: volumes.  Only repaired files appear here (default-rule sets don't).
+    replicas: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     version: int = _MANIFEST_VERSION
 
     def encode(self) -> bytes:
-        body = json.dumps(
-            {
-                "version": self.version,
-                "epoch": self.epoch,
-                "nodes": self.nodes,
-                "volumes_per_node": self.volumes_per_node,
-                "placement": self.placement,
-                "checkpoint_lsn": self.checkpoint_lsn,
-                "overrides": {str(k): v for k, v in sorted(self.overrides.items())},
-            },
-            sort_keys=True,
-        ).encode("utf-8")
+        payload = {
+            "version": self.version,
+            "epoch": self.epoch,
+            "nodes": self.nodes,
+            "volumes_per_node": self.volumes_per_node,
+            "placement": self.placement,
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "overrides": {str(k): v for k, v in sorted(self.overrides.items())},
+        }
+        if self.replicas:
+            # Key omitted when empty: a replicas=0 cluster writes the exact
+            # same manifest bytes as the pre-replication stack (size feeds
+            # the metadata device's timing, so this is a byte-identity pin).
+            payload["replicas"] = {
+                str(k): list(v) for k, v in sorted(self.replicas.items())
+            }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
         return _HEADER.pack(len(body), zlib.crc32(body)) + body
 
     @classmethod
@@ -91,6 +99,10 @@ class Manifest:
             placement=str(payload["placement"]),
             checkpoint_lsn=int(payload["checkpoint_lsn"]),
             overrides={int(k): int(v) for k, v in payload["overrides"].items()},
+            replicas={
+                int(k): tuple(int(x) for x in v)
+                for k, v in payload.get("replicas", {}).items()
+            },
         )
 
 

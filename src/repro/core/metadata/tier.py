@@ -53,8 +53,11 @@ from repro.core.metadata.wal import (
     REC_END,
     REC_FLIP,
     REC_FORGET,
+    REC_RSET,
     WriteAheadLog,
     decode_wal,
+    pack_replica_set,
+    unpack_replica_set,
 )
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
@@ -91,6 +94,7 @@ class MetadataTier:
         self.replayed_records = 0
         self.applied_flips = 0
         self.applied_forgets = 0
+        self.applied_rsets = 0
         self.torn_bytes = 0
         placement.set_forget_hook(self._on_placement_forget)
 
@@ -117,6 +121,13 @@ class MetadataTier:
 
     def journal_end(self, file_id: int) -> int:
         return self.wal.append(REC_END, file_id)
+
+    def journal_rset(self, file_id: int, volumes: tuple) -> int:
+        """Journal a replica-set repoint (repair).  Synchronous, like
+        :meth:`journal_flip`, and under the same recovery rule: the RSET
+        only applies once a later COMMIT for the file is durable."""
+        self._dirty = True
+        return self.wal.append(REC_RSET, file_id, pack_replica_set(volumes))
 
     def _on_placement_forget(self, file_id: int) -> None:
         if self._recovering:
@@ -149,6 +160,7 @@ class MetadataTier:
             placement=self.placement.inner.name,
             checkpoint_lsn=checkpoint_lsn,
             overrides=self.placement.overrides_snapshot(),
+            replicas=self.placement.replica_snapshot(),
         )
         yield from self.manifest_store.write(manifest)
         if self.crashpoints is not None:
@@ -186,6 +198,7 @@ class MetadataTier:
             self.torn_bytes = len(wal_data) - valid_bytes
             checkpoint_lsn = 0
             overrides: dict = {}
+            replicas: dict = {}
             if manifest is not None:
                 if (
                     manifest.nodes != placement.nodes
@@ -200,9 +213,10 @@ class MetadataTier:
                     )
                 checkpoint_lsn = manifest.checkpoint_lsn
                 overrides = dict(manifest.overrides)
+                replicas = dict(manifest.replicas)
                 self.epoch = manifest.epoch
-                self._dirty = True
             placement.load_overrides(overrides)
+            placement.load_replicas(replicas)
             # Records already folded into the manifest (or left behind by
             # a crash between manifest rewrite and WAL truncate) are stale.
             records = [r for r in records if r.lsn > checkpoint_lsn]
@@ -210,7 +224,7 @@ class MetadataTier:
             for record in records:
                 if record.rtype == REC_COMMIT:
                     commit_lsns.setdefault(record.file_id, []).append(record.lsn)
-            flips = forgets = 0
+            flips = forgets = rsets = 0
             for record in records:
                 if record.rtype == REC_FLIP:
                     # The one rule that makes every crash point safe: a
@@ -219,16 +233,30 @@ class MetadataTier:
                     if any(lsn > record.lsn for lsn in commit_lsns.get(record.file_id, ())):
                         placement.flip(record.file_id, record.arg)
                         flips += 1
+                elif record.rtype == REC_RSET:
+                    # Same rule as FLIP: the repointed replica set only
+                    # counts once a later COMMIT proved the new copies
+                    # durable; before that the journalled pre-repair set
+                    # still describes the durable copies.
+                    if any(lsn > record.lsn for lsn in commit_lsns.get(record.file_id, ())):
+                        placement.set_replica_set(
+                            record.file_id, unpack_replica_set(record.arg)
+                        )
+                        rsets += 1
                 elif record.rtype == REC_FORGET:
                     placement.forget(record.file_id)
                     forgets += 1
             max_lsn = max([checkpoint_lsn] + [r.lsn for r in records])
             self.wal.set_next_lsn(max_lsn + 1)
+            # Only live replayed records leave the tier dirty.  A manifest
+            # with an already-folded (or empty) journal does not: remount
+            # plus clean unmount must not rewrite an identical manifest.
             if records:
                 self._dirty = True
             self.replayed_records = len(records)
             self.applied_flips = flips
             self.applied_forgets = forgets
+            self.applied_rsets = rsets
         finally:
             self._recovering = False
 
@@ -241,6 +269,7 @@ class MetadataTier:
             "replayed_records": self.replayed_records,
             "applied_flips": self.applied_flips,
             "applied_forgets": self.applied_forgets,
+            "applied_rsets": self.applied_rsets,
             "torn_bytes": self.torn_bytes,
             "wal": self.wal.snapshot(),
             "manifest": self.manifest_store.snapshot(),

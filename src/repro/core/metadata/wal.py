@@ -48,18 +48,24 @@ __all__ = [
     "REC_COMMIT",
     "REC_END",
     "REC_FORGET",
+    "REC_RSET",
     "WalRecord",
     "WriteAheadLog",
     "decode_wal",
+    "pack_replica_set",
+    "unpack_replica_set",
 ]
 
 #: record types: one migration journals BEGIN → FLIP → COMMIT → END;
-#: FORGET drops the routing entry of a deleted displaced file.
+#: FORGET drops the routing entry of a deleted displaced file; RSET
+#: repoints a file's replica set (repair) — like FLIP, an RSET only
+#: applies at recovery under a later durable COMMIT for the same file.
 REC_BEGIN = 1
 REC_FLIP = 2
 REC_COMMIT = 3
 REC_END = 4
 REC_FORGET = 5
+REC_RSET = 6
 
 _HEADER = struct.Struct("<II")
 _BODY = struct.Struct("<QBqq")
@@ -79,6 +85,29 @@ class WalRecord:
     def encode(self) -> bytes:
         body = _BODY.pack(self.lsn, self.rtype, self.file_id, self.arg)
         return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def pack_replica_set(volumes: Tuple[int, ...]) -> int:
+    """Pack a replica volume list into an RSET record's ``arg``.
+
+    One byte per volume, offset by one so a zero byte terminates the list
+    (volume 0 packs as 1).  An i64 arg holds up to seven volumes — more
+    than the six replicas the configuration allows — and volume indices
+    are bounded at 254 by ``ClusterPlacement``.
+    """
+    arg = 0
+    for volume in reversed(volumes):
+        arg = (arg << 8) | (volume + 1)
+    return arg
+
+
+def unpack_replica_set(arg: int) -> Tuple[int, ...]:
+    """Invert :func:`pack_replica_set`."""
+    volumes = []
+    while arg:
+        volumes.append((arg & 0xFF) - 1)
+        arg >>= 8
+    return tuple(volumes)
 
 
 def decode_wal(data: bytes) -> Tuple[List[WalRecord], int]:

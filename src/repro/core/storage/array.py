@@ -37,7 +37,7 @@ from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
 from repro.core.scheduler import Scheduler
 from repro.core.storage.layout import StorageLayout
 from repro.core.storage.volume import Volume
-from repro.errors import ConfigurationError, StorageError
+from repro.errors import ConfigurationError, DataUnavailable, StorageError
 
 __all__ = [
     "PlacementPolicy",
@@ -416,7 +416,18 @@ class ShardedCache:
         block_id = block.block_id
         if block_id is None:
             raise ConfigurationError("cannot route a cache block with no identity")
-        return self.shard_for(block_id.file_id, block_id.block_no)
+        routed = self.shard_for(block_id.file_id, block_id.block_no)
+        if routed.peek(block_id.file_id, block_id.block_no) is block:
+            return routed
+        # A repair promotion can flip the file's home volume while a thread
+        # holds one of its blocks pinned: new lookups route to the new home,
+        # but this block still lives in the shard it was allocated in.
+        # Route by residence so the in-flight operation completes against
+        # its own slot (the old node's flush path then drops the I/O).
+        for shard in self.shards:
+            if shard.peek(block_id.file_id, block_id.block_no) is block:
+                return shard
+        return routed
 
     # ------------------------------------------------------------------ aggregate views
 
@@ -693,6 +704,13 @@ class RoutedLayout(StorageLayout):
                 )
         self._next_number = [ROOT_INODE_NUMBER + v for v in range(volumes)]
         self._file_counter = 0
+        #: fault board (``repro.core.faults.FaultState``) — attached by the
+        #: cluster builder; None (or ``active`` False) costs one attribute
+        #: check per I/O and changes nothing.
+        self.faults: Optional[Any] = None
+        #: replica manager (``repro.core.cluster.replication``) — attached
+        #: by the builder when ``ClusterConfig.replicas`` > 0.
+        self.replication: Optional[Any] = None
 
     # ------------------------------------------------------------------ routing helpers
 
@@ -762,12 +780,35 @@ class RoutedLayout(StorageLayout):
         return sorted(known)
 
     def read_inode(self, inode_number: int) -> Generator[Any, Any, Inode]:
-        return (yield from self.sub_for_file(inode_number).read_inode(inode_number))
+        volume = self.home_of(inode_number)
+        faults = self.faults
+        if faults is not None and faults.active and faults.volume_unavailable(volume):
+            faults.note_failed_read(volume)
+            if self.replication is not None:
+                return (
+                    yield from self.replication.read_inode_failover(inode_number, volume)
+                )
+            raise DataUnavailable(
+                f"inode {inode_number} lives on unavailable volume {volume} "
+                "and the cluster keeps no replicas"
+            )
+        return (yield from self.sublayouts[volume].read_inode(inode_number))
 
     def write_inode(self, inode: Inode) -> Generator[Any, Any, None]:
-        yield from self.sub_for_file(inode.number).write_inode(inode)
+        volume = self.home_of(inode.number)
+        faults = self.faults
+        if faults is not None and faults.active and faults.volume_unavailable(volume):
+            # The home volume eats the write — the data loss replication
+            # absorbs (and a bare cluster simply suffers).
+            faults.note_dropped_write(volume)
+        else:
+            yield from self.sublayouts[volume].write_inode(inode)
+        if self.replication is not None:
+            yield from self.replication.replicate_inode(inode)
 
     def free_inode(self, inode: Inode) -> Generator[Any, Any, None]:
+        if self.replication is not None:
+            yield from self.replication.free_replicas(inode)
         # Data blocks may be spread over several volumes (striping); release
         # them through the router first, then retire the inode on its home.
         yield from self.release_blocks(inode, 0)
@@ -783,8 +824,25 @@ class RoutedLayout(StorageLayout):
     def read_file_block(
         self, inode: Inode, block_no: int, block: CacheBlock
     ) -> Generator[Any, Any, bool]:
-        sub = self.sub_for_block(inode.number, block_no)
-        return (yield from sub.read_file_block(inode, block_no, block))
+        volume = self.placement.volume_for_block(inode.number, block_no)
+        faults = self.faults
+        if faults is not None and faults.active:
+            if faults.volume_unavailable(volume):
+                faults.note_failed_read(volume)
+                if self.replication is not None:
+                    return (
+                        yield from self.replication.read_failover(
+                            inode, block_no, block, volume
+                        )
+                    )
+                raise DataUnavailable(
+                    f"block {block_no} of file {inode.number} lives on "
+                    f"unavailable volume {volume} and the cluster keeps no replicas"
+                )
+            extra = faults.extra_delay(volume)
+            if extra:
+                yield from self.scheduler.sleep(extra)
+        return (yield from self.sublayouts[volume].read_file_block(inode, block_no, block))
 
     def write_file_blocks(
         self, inode: Inode, blocks: List[tuple[int, CacheBlock]]
@@ -795,8 +853,20 @@ class RoutedLayout(StorageLayout):
         for block_no, cache_block in blocks:
             volume = self.placement.volume_for_block(inode.number, block_no)
             groups.setdefault(volume, []).append((block_no, cache_block))
+        faults = self.faults
         for volume in sorted(groups):
+            if faults is not None and faults.active:
+                if faults.volume_unavailable(volume):
+                    # A dead disk eats the write; the flusher completes and
+                    # the data survives only where replication put a copy.
+                    faults.note_dropped_write(volume, len(groups[volume]))
+                    continue
+                extra = faults.extra_delay(volume)
+                if extra:
+                    yield from self.scheduler.sleep(extra)
             yield from self.sublayouts[volume].write_file_blocks(inode, groups[volume])
+        if self.replication is not None:
+            yield from self.replication.replicate_writes(inode, blocks)
 
     def release_blocks(self, inode: Inode, from_block: int) -> Generator[Any, Any, None]:
         groups: Dict[int, Dict[int, int]] = {}

@@ -110,3 +110,10 @@ class PermissionDenied(FileSystemError):
     """The operation is not permitted on this file type."""
 
     errno_name = "EPERM"
+
+
+class DataUnavailable(FileSystemError):
+    """The data lives on a dead or partitioned volume and no surviving
+    replica holds a copy (fault injection; ``repro.core.faults``)."""
+
+    errno_name = "EIO"

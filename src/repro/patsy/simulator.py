@@ -31,6 +31,7 @@ from repro.assembly.bindings import SimulatedBinding
 from repro.assembly.builder import StorageStack, build_stack
 from repro.assembly.spec import StackSpec
 from repro.config import SimulationConfig, small_test_config
+from repro.core.faults import FaultEvent, FaultInjector
 from repro.core.flush import ShardedFlushPolicy
 from repro.core.scheduler import Delay
 from repro.core.storage.array import RoutedLayout, ShardedCache
@@ -309,6 +310,33 @@ class PatsySimulator:
         if cluster is None or cluster.nodes <= 1 or cluster.client_entry != "home":
             return 0
         return client % cluster.nodes
+
+    def inject_faults(
+        self, schedule: Sequence[FaultEvent], scrub: bool = False
+    ) -> FaultInjector:
+        """Arm a scripted fault schedule against this run's cluster.
+
+        The injector daemon starts immediately (it sleeps until each
+        event's time), so call this before :meth:`replay`.  ``scrub``
+        zeroes the memory-backed disk images of killed volumes — the
+        byte-faithful proof that fail-over reads never touch dead
+        hardware — and must stay off when a test remounts the "revived"
+        volumes afterwards.
+        """
+        if self.cluster is None or self.cluster.faults is None:
+            raise ConfigurationError(
+                "fault injection needs a cluster stack (nodes >= 1 with a "
+                "fault board); this run is a single-machine array"
+            )
+        injector = FaultInjector(
+            self.scheduler,
+            self.cluster.faults,
+            schedule,
+            topology=self.cluster,
+            scrub=scrub,
+        )
+        injector.start()
+        return injector
 
     @staticmethod
     def partition_setup_dirs(
@@ -793,6 +821,22 @@ class PatsySimulator:
                 entry["remote_io"] = {
                     key: sum(r[key] for r in remote) for key in remote[0]
                 }
+            faults = topology.faults
+            if faults is not None and faults.active:
+                i = node.index
+                entry["faults"] = {
+                    "events": faults.faults_by_node.get(i, 0),
+                    "dropped_writes": faults.dropped_writes_by_node.get(i, 0),
+                    "failed_reads": faults.failed_reads_by_node.get(i, 0),
+                }
+                if topology.replication is not None:
+                    entry["faults"]["failovers"] = (
+                        topology.replication.failovers_by_node.get(i, 0)
+                    )
+                if topology.repairer is not None:
+                    entry["faults"]["repairs"] = (
+                        topology.repairer.repairs_by_node.get(i, 0)
+                    )
             per_node[f"node{node.index}"] = entry
         stats: Dict[str, Any] = {
             "nodes": topology.num_nodes,
@@ -813,6 +857,12 @@ class PatsySimulator:
             ]
         if topology.metadata is not None:
             stats["metadata"] = topology.metadata.snapshot()
+        if topology.faults is not None and topology.faults.active:
+            stats["faults"] = topology.faults.snapshot()
+        if topology.replication is not None:
+            stats["replication"] = topology.replication.snapshot()
+        if topology.repairer is not None:
+            stats["repairer"] = topology.repairer.snapshot()
         if hasattr(self.scheduler, "queue_snapshot"):
             stats["scheduler"] = self.scheduler.queue_snapshot()
         return stats

@@ -250,6 +250,129 @@ def test_crash_boundaries_across_cluster_sizes(nodes, point):
     check_recovered(stack, files, deleted_path, f"nodes={nodes} {point}#{occurrence}")
 
 
+# --------------------------------------------------------------------------- clean remounts
+
+
+def test_clean_remount_rewrites_no_manifest():
+    """A remount whose recovery replays nothing must not mark the tier
+    dirty: unmounting again rewrites no manifest (the durable bytes are
+    already exact), so repeated clean mount/unmount cycles are write-free."""
+    spec = crash_spec(nodes=2, volumes_per_node=1, placement="hash")
+    store = DurableStore()
+    stack = build_crash_stack(spec, store)
+    files, migrated, deleted_path = drive_workload(stack)
+    assert migrated
+    images = [
+        driver.snapshot() for node in stack.cluster.nodes for driver in node.drivers
+    ]
+    for _ in range(3):
+        stack = remount(spec, store, images)
+        assert stack.metadata.replayed_records == 0  # all folded at unmount
+        run(stack.scheduler, stack.fs.unmount)
+        assert stack.metadata.manifest_store.snapshot()["writes"] == 0, (
+            "clean remount + unmount rewrote an identical manifest"
+        )
+        images = [
+            d.snapshot() for node in stack.cluster.nodes for d in node.drivers
+        ]
+    stack = remount(spec, store, images)
+    check_recovered(stack, files, deleted_path, "after three clean remount cycles")
+
+
+# --------------------------------------------------------------------------- replica repair matrix
+
+
+def replica_crash_spec():
+    spec = crash_spec(nodes=3, volumes_per_node=1, placement="hash")
+    return StackSpec(
+        cache=spec.cache,
+        flush=spec.flush,
+        layout=spec.layout,
+        array=spec.array,
+        cluster=ClusterConfig(
+            nodes=3,
+            rebalance=False,
+            wal_checkpoint_bytes=256,
+            replicas=1,
+            repair_interval=0.5,
+        ),
+    )
+
+
+def drive_replica_workload(stack):
+    """Create replicated files, kill volume 0 (scrub **off** — the crash
+    harness revives the volume's bytes at remount), let the repair daemon
+    restore full replication, unmount.
+
+    No writes happen after the kill: volume death is runtime state and
+    does not survive the whole-stack crash, so a post-kill write would
+    legitimately be missing from the revived old primary."""
+    from repro.core.faults import FaultEvent, FaultInjector
+
+    scheduler = stack.scheduler
+    client = stack.client
+    fs = stack.fs
+
+    def body():
+        yield from fs.mount(True)
+        files = []
+        for i in range(NUM_FILES):
+            path = f"/f{i}"
+            handle = yield from client.create(path)
+            yield from client.write(handle, 0, payload(i))
+            yield from client.fsync(handle)
+            yield from client.close(handle)
+            file = yield from client.lookup(path)
+            files.append((path, file.file_id))
+        yield from fs.sync()
+        return files
+
+    files = scheduler.run_until_complete(scheduler.spawn(body))
+    injector = FaultInjector(
+        scheduler,
+        stack.cluster.faults,
+        [FaultEvent(time=scheduler.now + 0.1, kind="disk_fail", target=0)],
+        topology=stack.cluster,
+    )
+    injector.start()
+    scheduler.run(until=scheduler.now + 0.2, inclusive=True)
+    assert injector.applied == 1
+    manager = stack.cluster.replication
+    deadline = scheduler.now + 30.0
+    while manager.under_replicated_files() and scheduler.now < deadline:
+        scheduler.run(until=scheduler.now + 1.0, inclusive=True)
+    assert manager.under_replicated_files() == 0
+    thread = scheduler.spawn(fs.unmount)
+    scheduler.run_until_complete(thread)
+    return files
+
+
+def test_crash_at_every_repair_step_recovers_byte_identical():
+    """Satellite of the replication tier: the repair state machine —
+    promote (FLIP + RSET) and re-replicate (clone + RSET) — swept with the
+    same crash-at-every-boundary discipline as migrations."""
+    spec = replica_crash_spec()
+    crashpoints = CrashPoints(recording=True)
+    stack = build_crash_stack(spec, DurableStore(), crashpoints)
+    files = drive_replica_workload(stack)
+    matrix = [pair for pair in crashpoints.seen if pair[0].startswith("repair.")]
+    points = {point for point, _ in matrix}
+    assert {"repair.flip.pre", "repair.clone.pre", "repair.commit.pre"} <= points, (
+        f"repair matrix too thin: {sorted(points)}"
+    )
+    for point, occurrence in matrix[::MATRIX_STRIDE]:
+        store = DurableStore()
+        stack = build_crash_stack(spec, store, CrashPoints(arm=(point, occurrence)))
+        with pytest.raises(SimulatedCrash) as exc_info:
+            drive_replica_workload(stack)
+        assert exc_info.value.point == point
+        images = [
+            d.snapshot() for node in stack.cluster.nodes for d in node.drivers
+        ]
+        stack = remount(spec, store, images)
+        check_recovered(stack, files, None, f"{point}#{occurrence}")
+
+
 # --------------------------------------------------------------------------- the PATSY world
 
 
