@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate for the LFS segment-index benchmark.
+
+Compares the freshly generated ``BENCH_lfs_index.json`` against the
+committed ``benchmarks/baseline_lfs_index.json``.  Every gated metric is
+deterministic — simulated (virtual-clock) latencies and structural disk
+read / candidate counters under a fixed seed — so unlike the replay gate
+the tolerance here only covers deliberate workload retuning, not host
+noise:
+
+* mount with the index on must stay a constant number of disk reads
+  (checkpoint + superblock), independent of segment count,
+* the cleaner's candidate set must stay bounded at every sweep size,
+* the cold-read median speedup (index off p50 / index on p50) must stay
+  within ``tolerance`` of the committed baseline,
+* the index-on run must keep issuing fewer disk reads than index-off,
+* the in-core index footprint must stay under the cache-budget cap.
+
+Exits non-zero on regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_lfs_index.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_lfs_index.json"
+
+
+def main() -> int:
+    report = json.loads(RESULT_PATH.read_text())
+    baseline = json.loads(BASELINE_PATH.read_text())
+    tolerance = float(baseline.get("tolerance", 0.25))
+    failures = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"{label}: {detail} -> {verdict}")
+        if not ok:
+            failures.append(f"{label}: {detail}")
+
+    mount_cap = int(baseline["mount_disk_reads_index_on"])
+    for entry in report["mount"]:
+        reads = entry["index_on"]["disk_reads"]
+        check(
+            f"mount reads ({entry['non_free_segments']} segments)",
+            reads <= mount_cap,
+            f"{reads} disk reads with index on (cap {mount_cap})",
+        )
+
+    candidate_cap = int(baseline["cleaner_candidate_bound"])
+    for entry in report["cleaner_scan"]:
+        considered = entry["index_on"]["candidates_per_choose"]
+        check(
+            f"cleaner candidates ({entry['sealed_segments']} segments)",
+            considered <= candidate_cap,
+            f"{considered} candidates/choose with index on (cap {candidate_cap})",
+        )
+
+    cold = report["cold_read"]
+    on_p50 = cold["index_on"]["latency"]["p50"]
+    off_p50 = cold["index_off"]["latency"]["p50"]
+    speedup = off_p50 / on_p50 if on_p50 else float("inf")
+    floor = float(baseline["cold_read_p50_speedup"]) * (1.0 - tolerance)
+    check(
+        "cold-read p50 speedup",
+        speedup >= floor,
+        f"{speedup:.2f}x vs baseline {baseline['cold_read_p50_speedup']}x "
+        f"(floor {floor:.2f}x, tolerance {tolerance:.0%})",
+    )
+
+    read_ratio = cold["index_on"]["disk_reads"] / max(
+        1, cold["index_off"]["disk_reads"]
+    )
+    ratio_cap = float(baseline["cold_read_disk_read_ratio"]) * (1.0 + tolerance)
+    check(
+        "cold-read disk reads",
+        read_ratio <= min(ratio_cap, 1.0),
+        f"on/off ratio {read_ratio:.3f} (cap {min(ratio_cap, 1.0):.3f})",
+    )
+
+    fraction = cold["index_on"]["index_fraction_of_cache"]
+    fraction_cap = float(baseline["index_fraction_of_cache_max"])
+    check(
+        "index footprint",
+        fraction <= fraction_cap,
+        f"{fraction:.4f} of cache budget (cap {fraction_cap})",
+    )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -209,6 +209,19 @@ def format_volume_table(
                 f"governor: wakeups={rollup['governor_wakeups']} "
                 f"flushes={rollup['governor_flushes']}"
             )
+        layout_rollup = rollup.get("layout", {})
+        if layout_rollup.get("cleaner_read_runs"):
+            lines.append(
+                f"cleaner: read-runs={layout_rollup['cleaner_read_runs']} "
+                f"blocks-copied={layout_rollup.get('cleaner_blocks_copied', 0)} "
+                f"candidate-scans={layout_rollup.get('cleaner_candidate_scans', 0)}"
+            )
+        if "index" in rollup:
+            index = rollup["index"]
+            lines.append(
+                f"segment index: {index['memory_bytes']} bytes in core "
+                f"({index['fraction_of_cache'] * 100:.2f}% of cache budget)"
+            )
     return "\n".join(lines)
 
 

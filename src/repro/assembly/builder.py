@@ -177,11 +177,12 @@ def _build_layout(
     seed: int,
     inode_base: int = 0,
     inode_stride: int = 1,
+    crashpoints: Optional[Any] = None,
 ):
     """One storage layout over one volume (a whole single-volume system,
     or member ``inode_base`` of an ``inode_stride``-volume array), created
     through the "layout" component registry."""
-    return registry.create(
+    layout = registry.create(
         "layout",
         spec.layout.kind,
         scheduler,
@@ -193,6 +194,10 @@ def _build_layout(
         inode_base=inode_base,
         inode_stride=inode_stride,
     )
+    if crashpoints is not None and isinstance(layout, LogStructuredLayout):
+        # The recovery harness crashes inside the LFS index/summary write.
+        layout.crashpoints = crashpoints
+    return layout
 
 
 def _make_cleaner_daemon(
@@ -240,7 +245,9 @@ def build_stack(
 
     if array is None and cluster is None:
         volume: Volume = LocalVolume(drivers, block_size=spec.cache.block_size)
-        layout = _build_layout(spec, scheduler, volume, simulated, spec.seed)
+        layout = _build_layout(
+            spec, scheduler, volume, simulated, spec.seed, crashpoints=crashpoints
+        )
         cache: Union[BlockCache, ShardedCache] = BlockCache(
             scheduler, spec.cache, with_data=with_data
         )
@@ -313,6 +320,7 @@ def build_stack(
                 spec.seed + v,
                 inode_base=v,
                 inode_stride=total_volumes,
+                crashpoints=crashpoints,
             )
             for v in range(total_volumes)
         ]

@@ -183,6 +183,20 @@ class LayoutConfig:
     cleaner_age_scale: float = 30.0
     #: FFS-style layout parameters (used when kind == "ffs").
     cylinder_group_size: int = 2 * MB
+    #: per-segment sparse index + bloom filter on the LFS read/cleaner
+    #: path (LSM-style).  Off reproduces the pre-index stack byte for
+    #: byte: eager summary reloads at mount, full segment scans per
+    #: cleaner wakeup, one read per live block when cleaning.
+    segment_index: bool = True
+    #: sample every Nth summary entry into the sparse offset index.
+    index_sparse_every: int = 4
+    #: bloom filter size in bits per indexed key.
+    index_bloom_bits: int = 8
+    #: bound on the cleaner's candidate set drawn from the utilisation
+    #: buckets (0 = scan every segment, as without the index).
+    cleaner_candidates: int = 64
+    #: maximum blocks coalesced into one cold-read run (<=1 disables).
+    read_coalesce_blocks: int = 8
 
     def __post_init__(self) -> None:
         if self.kind not in {"lfs", "ffs"} and not _is_registered("layout", self.kind):
@@ -197,6 +211,28 @@ class LayoutConfig:
             raise ConfigurationError(f"unknown cleaner policy {self.cleaner_policy!r}")
         if self.cleaner_age_scale <= 0:
             raise ConfigurationError("cleaner_age_scale must be positive")
+        if self.index_sparse_every < 1:
+            raise ConfigurationError("index_sparse_every must be >= 1")
+        if self.index_bloom_bits < 1:
+            raise ConfigurationError("index_bloom_bits must be >= 1")
+        if self.cleaner_candidates < 0:
+            raise ConfigurationError("cleaner_candidates must be >= 0")
+        if self.read_coalesce_blocks < 0:
+            raise ConfigurationError("read_coalesce_blocks must be >= 0")
+
+    def index_config(self):
+        """The :class:`~repro.core.storage.segindex.SegmentIndexConfig`
+        these knobs describe, or None when the index is disabled."""
+        if not self.segment_index:
+            return None
+        from repro.core.storage.segindex import SegmentIndexConfig
+
+        return SegmentIndexConfig(
+            sparse_every=self.index_sparse_every,
+            bloom_bits=self.index_bloom_bits,
+            cleaner_candidates=self.cleaner_candidates,
+            read_coalesce_blocks=self.read_coalesce_blocks,
+        )
 
 
 @dataclass(frozen=True)

@@ -138,7 +138,8 @@ class CleanerDaemon:
         """
         cleaned = 0
         while self.layout.free_segment_fraction < target_fraction:
-            victim = self.policy.choose(self.layout.segment_infos(), self.scheduler.now)
+            candidates = self.layout.cleaner_candidates(self.scheduler.now)
+            victim = self.policy.choose(candidates, self.scheduler.now)
             if victim is None:
                 break
             copied, _examined = yield from self.layout.clean_segment(victim.index)

@@ -41,6 +41,24 @@ class LayoutStatistics:
     synthesized_addresses: int = 0
     cleaner_segments_cleaned: int = 0
     cleaner_blocks_copied: int = 0
+    #: disk read operations the cleaner issued while copying live blocks
+    #: forward (coalesced runs count once; without coalescing this equals
+    #: the number of live blocks read).
+    cleaner_read_runs: int = 0
+    #: cleaner candidate selections served and candidates handed out.
+    cleaner_candidate_scans: int = 0
+    cleaner_candidates_considered: int = 0
+    #: segment-index persistence and lazy-summary traffic.
+    index_writes: int = 0
+    index_reads: int = 0
+    lazy_summary_loads: int = 0
+    #: cold-read run coalescing: runs issued, extra blocks prefetched,
+    #: and prefetched blocks later consumed without a disk read.
+    cold_read_runs: int = 0
+    cold_read_blocks_coalesced: int = 0
+    coalesced_read_hits: int = 0
+    #: reads skipped because a bloom probe proved the data absent.
+    bloom_skips: int = 0
     extra: dict = field(default_factory=dict)
 
 

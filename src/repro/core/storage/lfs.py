@@ -25,6 +25,7 @@ seen (trace replay touches files that existed before the trace started).
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_right
 from collections import defaultdict
 from typing import Any, Generator, Optional
@@ -35,12 +36,30 @@ from repro.core.blocks import CacheBlock
 from repro.core.inode import FileKind, Inode, ROOT_INODE_NUMBER
 from repro.core.scheduler import Scheduler
 from repro.core.storage.layout import StorageLayout
+from repro.core.storage.segindex import (
+    BloomFilter,
+    SegmentIndex,
+    SegmentIndexConfig,
+    UtilisationBuckets,
+    owner_key,
+)
 from repro.core.storage.volume import Volume
 from repro.core.sync import Mutex
 from repro.errors import NoSpaceLeft, StorageError
 from repro.units import DEFAULT_BLOCK_SIZE
 
 __all__ = ["LogStructuredLayout", "SegmentInfo"]
+
+
+def _contiguous_runs(offsets: list[int]) -> list[tuple[int, int]]:
+    """Group a sorted offset list into ``(start, length)`` runs."""
+    runs: list[tuple[int, int]] = []
+    for offset in offsets:
+        if runs and runs[-1][0] + runs[-1][1] == offset:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((offset, 1))
+    return runs
 
 
 class SegmentInfo:
@@ -77,6 +96,7 @@ class LogStructuredLayout(StorageLayout):
         segment_blocks: int = 64,
         simulated: bool = False,
         seed: int = 0,
+        index_config: Optional[SegmentIndexConfig] = None,
     ):
         super().__init__(scheduler, volume, block_size, simulated=simulated, seed=seed)
         if segment_blocks < 4:
@@ -118,6 +138,33 @@ class LogStructuredLayout(StorageLayout):
         self._checkpoint_location: Optional[tuple[int, int]] = None
         self._mounted = False
         self._last_disk = -1
+        # --- free-segment heaps (one per disk, lazy deletion) ------------------
+        # ``free_segments`` stays the source of truth; the heaps only order it
+        # so _pick_free_segment is O(disks·log n) instead of an O(F) scan.
+        self._free_heaps: list[list[int]] = []
+        self._rebuild_free_heaps()
+        # Incremental total of live blocks across all segments (= what the old
+        # free_blocks property recomputed with an O(num_segments) sum).
+        self._live_total = 0
+        # --- LSM-style per-segment indexes (None/off = pre-index behaviour) ---
+        self.index_config = index_config
+        self._index_on = index_config is not None
+        #: recovery crash points; attached by the assembly builder when a
+        #: CrashPoints instance is threaded through the stack.
+        self.crashpoints = None
+        #: True once a checkpoint is reachable from the superblock (the
+        #: recovery floor; crash points only arm past it).
+        self._durable_checkpoint = False
+        self._indexes: dict[int, SegmentIndex] = {}
+        self._buckets = UtilisationBuckets()
+        #: non-free segments whose summary/index has not been read since
+        #: mount (lazy mount: loaded on first cleaner touch).
+        self._unloaded: set[int] = set()
+        #: blocks prefetched by cold-read run coalescing, keyed by disk
+        #: address (payload bytes, or None in simulated mode).
+        self._staged_reads: dict[int, Optional[bytes]] = {}
+        #: layout-wide owner bloom: which inode numbers ever hit this log.
+        self._owner_bloom = BloomFilter(1 << 14) if self._index_on else None
 
     # ------------------------------------------------------------------ geometry helpers
 
@@ -145,9 +192,10 @@ class LogStructuredLayout(StorageLayout):
     @property
     def free_blocks(self) -> int:
         per_segment = self.segment_blocks - 1  # minus the summary block
-        live = sum(self.segment_usage[s] for s in range(self.num_segments))
         return self.free_segment_count * per_segment + max(
-            0, (self.num_segments - self.free_segment_count) * per_segment - live
+            0,
+            (self.num_segments - self.free_segment_count) * per_segment
+            - self._live_total,
         )
 
     # ------------------------------------------------------------------ lifecycle
@@ -161,6 +209,15 @@ class LogStructuredLayout(StorageLayout):
         self.free_segments = set(range(self.num_segments))
         self.next_inode_number = ROOT_INODE_NUMBER
         self._checkpoint_location = None
+        self._durable_checkpoint = False
+        self._rebuild_free_heaps()
+        self._live_total = 0
+        self._indexes.clear()
+        self._buckets.clear()
+        self._unloaded.clear()
+        self._staged_reads.clear()
+        if self._index_on:
+            self._owner_bloom = BloomFilter(1 << 14)
         if not self.simulated:
             superblock = codec.pack_superblock(
                 self.block_size, self.segment_blocks, self.volume.total_blocks, 0, 0
@@ -205,8 +262,29 @@ class LogStructuredLayout(StorageLayout):
             s for s in range(self.num_segments) if self.segment_usage[s] == 0
         }
         self._checkpoint_location = (address, nblocks)
-        # Summaries of non-free segments are re-read lazily by the cleaner.
-        yield from self._reload_summaries()
+        self._durable_checkpoint = True
+        self._rebuild_free_heaps()
+        self._live_total = sum(self.segment_usage.values())
+        self._staged_reads.clear()
+        if self._index_on:
+            # Lazy mount: defer the one-read-per-segment summary sweep.  The
+            # checkpoint's usage counters are enough to seed the cleaner's
+            # utilisation buckets; a segment's summary (and persisted index)
+            # is read the first time the cleaner touches it.
+            self._indexes.clear()
+            self._buckets.clear()
+            self._unloaded.clear()
+            self.segment_summaries.clear()
+            self._owner_bloom = BloomFilter(1 << 14)
+            for segment in range(self.num_segments):
+                if segment in self.free_segments:
+                    continue
+                self._unloaded.add(segment)
+                self._buckets.insert(
+                    segment, self.segment_usage[segment], self.segment_blocks - 1
+                )
+        else:
+            yield from self._reload_summaries()
 
     def _reload_summaries(self) -> Generator[Any, Any, None]:
         self.segment_summaries.clear()
@@ -222,6 +300,54 @@ class LogStructuredLayout(StorageLayout):
             except StorageError:
                 entries = []
             self.segment_summaries[segment] = entries
+
+    def _load_segment_summary(self, segment: int) -> Generator[Any, Any, None]:
+        """Lazily read one sealed segment's summary block (index-on mount).
+
+        Decodes the summary entries and, when the block carries a persisted
+        index section, the bloom/sparse index; legacy blocks written before
+        index persistence get their index rebuilt from the entries."""
+        self._unloaded.discard(segment)
+        try:
+            raw = yield from self.volume.read_block(self.segment_start(segment))
+            self.stats.disk_reads += 1
+        except StorageError:
+            raw = None
+        self.stats.lazy_summary_loads += 1
+        entries: list[tuple[int, int, bool]] = []
+        packed = None
+        if raw is not None:
+            try:
+                entries = codec.unpack_segment_summary(raw)
+                packed = codec.unpack_segment_index(
+                    raw, codec.segment_summary_size(len(entries))
+                )
+            except StorageError:
+                entries = []
+        self.segment_summaries[segment] = entries
+        assert self.index_config is not None
+        live = self.segment_usage[segment]
+        if packed is not None and packed["sparse_every"] == self.index_config.sparse_every:
+            self.stats.index_reads += 1
+            index = SegmentIndex(
+                self.index_config,
+                self.segment_blocks - 1,
+                bloom=BloomFilter.from_bytes(
+                    packed["bloom_bytes"], packed["bloom_bits"], packed["bloom_hashes"]
+                ),
+                sparse=dict(packed["sparse"]),
+                entries=packed["entries"],
+                live=min(max(live, 0), packed["entries"]),
+            )
+            index.dead = index.entries - index.live
+        else:
+            index = SegmentIndex.rebuild(
+                self.index_config, self.segment_blocks - 1, entries, live
+            )
+        self._indexes[segment] = index
+        if self._owner_bloom is not None:
+            for owner, _logical, _is_inode in entries:
+                self._owner_bloom.add(owner_key(owner))
 
     def checkpoint(self) -> Generator[Any, Any, None]:
         """Append a checkpoint to the log and point the superblock at it."""
@@ -259,6 +385,7 @@ class LogStructuredLayout(StorageLayout):
         )
         yield from self.volume.write_block(0, self._pad(superblock))
         self.stats.disk_writes += 1
+        self._durable_checkpoint = True
 
     # ------------------------------------------------------------------ inodes
 
@@ -333,13 +460,60 @@ class LogStructuredLayout(StorageLayout):
             if not self.simulated:
                 return False  # a hole: caller sees zeros
             address = self.synthesize_address(inode.number, block_no)
-        raw = yield from self.volume.read_run(address, 1)
+        if self._index_on and address in self._staged_reads:
+            # A previous coalesced run already fetched this block.
+            raw = self._staged_reads.pop(address)
+            self.stats.coalesced_read_hits += 1
+            self.stats.blocks_read += 1
+            if raw is not None and block.data is not None:
+                block.data[: len(raw)] = raw
+                block.valid_bytes = block.size
+            return True
+        run = self._read_run_length(inode, block_no, address)
+        raw = yield from self.volume.read_run(address, run)
         self.stats.disk_reads += 1
         self.stats.blocks_read += 1
+        if run > 1:
+            self.stats.cold_read_runs += 1
+            self.stats.cold_read_blocks_coalesced += run - 1
+            size = self.block_size
+            for extra in range(1, run):
+                self._staged_reads[address + extra] = (
+                    None if raw is None else raw[extra * size : (extra + 1) * size]
+                )
+            if len(self._staged_reads) > 256:
+                # Random workloads rarely consume prefetches; drop the lot
+                # rather than let stale staging grow without bound.
+                self._staged_reads.clear()
+            raw = None if raw is None else raw[:size]
         if raw is not None and block.data is not None:
             block.data[: len(raw)] = raw
             block.valid_bytes = block.size
         return True
+
+    def _read_run_length(self, inode: Inode, block_no: int, address: int) -> int:
+        """How many logically-sequential blocks of ``inode`` sit physically
+        contiguous after ``address`` (LFS writes sequential data that way).
+        Bounded by the coalesce knob and the segment end — segments never
+        straddle disks, so the run is always a single-disk operation."""
+        if not self._index_on:
+            return 1
+        limit = self.index_config.read_coalesce_blocks
+        if limit <= 1:
+            return 1
+        segment = self.segment_of(address)
+        if segment < 0:
+            return 1
+        end = self.segment_start(segment) + self.segment_blocks
+        run = 1
+        while (
+            run < limit
+            and address + run < end
+            and address + run not in self._staged_reads
+            and inode.get_block_address(block_no + run) == address + run
+        ):
+            run += 1
+        return run
 
     def write_file_blocks(
         self, inode: Inode, blocks: list[tuple[int, CacheBlock]]
@@ -386,6 +560,39 @@ class LogStructuredLayout(StorageLayout):
             )
         return infos
 
+    def cleaner_candidates(self, now: float = 0.0) -> list[SegmentInfo]:
+        """Bounded cleaner candidate set.
+
+        With the segment index on, candidates come from the incrementally
+        maintained utilisation buckets — the emptiest segments first, at most
+        ``cleaner_candidates`` of them — so a cleaner wakeup costs O(bound)
+        instead of rebuilding an O(num_segments) info list.  Greedy's global
+        minimum always lies in the lowest occupied bucket; cost-benefit's age
+        term may in rare cases prefer a segment outside the bound (the usual
+        LSM-compaction approximation).  Index off falls back to the full scan.
+        """
+        if not self._index_on or self.index_config.cleaner_candidates <= 0:
+            infos = self.segment_infos()
+            self.stats.cleaner_candidate_scans += 1
+            self.stats.cleaner_candidates_considered += len(infos)
+            return infos
+        capacity = self.segment_blocks - 1
+        infos = []
+        for segment in self._buckets.candidates(self.index_config.cleaner_candidates):
+            if segment in self.free_segments or segment == self._active_segment:
+                continue
+            infos.append(
+                SegmentInfo(
+                    index=segment,
+                    live_blocks=self.segment_usage[segment],
+                    capacity=capacity,
+                    modified_at=self.segment_mtime[segment],
+                )
+            )
+        self.stats.cleaner_candidate_scans += 1
+        self.stats.cleaner_candidates_considered += len(infos)
+        return infos
+
     def clean_segment(self, segment: int) -> Generator[Any, Any, tuple[int, int]]:
         """Copy the live blocks out of ``segment`` and mark it free.
 
@@ -393,15 +600,42 @@ class LogStructuredLayout(StorageLayout):
         """
         if segment in self.free_segments or segment == self._active_segment:
             return (0, 0)
+        if self._index_on and segment in self._unloaded:
+            yield from self._load_segment_summary(segment)
         entries = list(self.segment_summaries.get(segment, []))
         start = self.segment_start(segment)
         copied = 0
+        staged: Optional[dict[int, Optional[bytes]]] = None
+        if self._index_on:
+            # Coalesce the live blocks into contiguous multi-block reads
+            # instead of one disk operation per live block.  Liveness is
+            # re-checked per entry below: copying an inode forward can kill a
+            # later entry of this same segment mid-clean.
+            live_offsets = [
+                offset
+                for offset, (owner, logical, is_inode) in enumerate(entries, start=1)
+                if self._is_live(start + offset, owner, logical, is_inode)
+            ]
+            staged = {}
+            size = self.block_size
+            for run_start, run_len in _contiguous_runs(live_offsets):
+                raw = yield from self.volume.read_run(start + run_start, run_len)
+                self.stats.disk_reads += 1
+                self.stats.cleaner_read_runs += 1
+                for j in range(run_len):
+                    staged[run_start + j] = (
+                        None if raw is None else raw[j * size : (j + 1) * size]
+                    )
         for offset, (inode_number, logical_block, is_inode) in enumerate(entries, start=1):
             address = start + offset
             if not self._is_live(address, inode_number, logical_block, is_inode):
                 continue
-            raw = yield from self.volume.read_run(address, 1)
-            self.stats.disk_reads += 1
+            if staged is not None and offset in staged:
+                raw = staged[offset]
+            else:
+                raw = yield from self.volume.read_run(address, 1)
+                self.stats.disk_reads += 1
+                self.stats.cleaner_read_runs += 1
             inode = self._inode_objects.get(inode_number)
             if is_inode:
                 if inode is None:
@@ -421,10 +655,15 @@ class LogStructuredLayout(StorageLayout):
                 self._kill_blocks(address, 1)
                 inode.set_block_address(logical_block, new_address[0])
             copied += 1
+        self._live_total -= self.segment_usage[segment]
         self.segment_usage[segment] = 0
         self.segment_mtime[segment] = self.scheduler.now
         self.segment_summaries.pop(segment, None)
         self.free_segments.add(segment)
+        self._free_push(segment)
+        self._indexes.pop(segment, None)
+        self._buckets.remove(segment)
+        self._unloaded.discard(segment)
         self.stats.cleaner_segments_cleaned += 1
         self.stats.cleaner_blocks_copied += copied
         return (copied, len(entries))
@@ -505,24 +744,80 @@ class LogStructuredLayout(StorageLayout):
                 parts.append(self._pad(data if data is not None else b""))
             payload = b"".join(parts)
         summary = self.segment_summaries[segment]
+        index = self._indexes.get(segment) if self._index_on else None
+        offset = self._active_offset
         for owner, logical, is_inode, _data in batch:
             summary.append((owner, logical, is_inode))
+            if index is not None:
+                index.add(owner, logical, is_inode, offset)
+                self._owner_bloom.add(owner_key(owner))
+            offset += 1
         self.segment_usage[segment] += len(batch)
+        self._live_total += len(batch)
         self.segment_mtime[segment] = self.scheduler.now
         self._active_offset += len(batch)
         return first_address, payload
 
     def _finish_active_segment(self) -> Generator[Any, Any, None]:
+        sealed = self._active_segment
         yield from self._write_active_summary()
+        if self._index_on and sealed is not None:
+            self._buckets.insert(
+                sealed, self.segment_usage[sealed], self.segment_blocks - 1
+            )
         self._activate_segment(self._pick_free_segment())
 
     def _write_active_summary(self) -> Generator[Any, Any, None]:
-        if self._active_segment is None or self.simulated:
+        if self._active_segment is None:
             return
         segment = self._active_segment
-        summary = codec.pack_segment_summary(self.segment_summaries.get(segment, []))
-        yield from self.volume.write_block(self.segment_start(segment), self._pad(summary))
+        # Crash points arm only once a superblock-committed checkpoint
+        # exists: before that floor a crash legitimately loses data (classic
+        # LFS), which is outside the recovery harness's contract.
+        crashpoints = (
+            self.crashpoints
+            if self._index_on and self._durable_checkpoint
+            else None
+        )
+        if self.simulated:
+            if not self._index_on:
+                return
+            # The persisted index must hit the platter, so the simulated
+            # world charges the summary+index block write the real world
+            # performs at every segment seal.
+            if crashpoints is not None:
+                crashpoints.hit("lfs.index.write.pre")
+            yield from self.volume.write_block(self.segment_start(segment), None)
+            self.stats.disk_writes += 1
+            self.stats.index_writes += 1
+            if crashpoints is not None:
+                crashpoints.hit("lfs.index.write.post")
+            return
+        payload = codec.pack_segment_summary(self.segment_summaries.get(segment, []))
+        if self._index_on:
+            index = self._indexes.get(segment)
+            if index is not None:
+                section = codec.pack_segment_index(
+                    index.entries,
+                    index.live,
+                    index.dead,
+                    index.bloom.num_bits,
+                    index.bloom.num_hashes,
+                    index.bloom.to_bytes(),
+                    index.config.sparse_every,
+                    index.sparse,
+                )
+                # Ride in the summary block's slack; absurdly large segment
+                # geometries simply skip persistence (rebuilt from entries).
+                if len(payload) + len(section) <= self.block_size:
+                    payload += section
+                    self.stats.index_writes += 1
+        if crashpoints is not None:
+            crashpoints.hit("lfs.index.write.pre")
+        yield from self.volume.write_block(self.segment_start(segment), self._pad(payload))
         self.stats.disk_writes += 1
+        if crashpoints is not None:
+            crashpoints.hit("lfs.index.write.post")
 
     def _activate_segment(self, segment: int) -> None:
         self.free_segments.discard(segment)
@@ -530,24 +825,53 @@ class LogStructuredLayout(StorageLayout):
         self._active_offset = 1
         self.segment_summaries[segment] = []
         self._last_disk = self._segment_disk[segment]
+        if self._index_on:
+            self._buckets.remove(segment)
+            self._unloaded.discard(segment)
+            self._indexes[segment] = SegmentIndex(
+                self.index_config, self.segment_blocks - 1
+            )
+            if self._staged_reads:
+                # The segment's old contents are about to be overwritten;
+                # drop any prefetched blocks staged from its address range.
+                start = self.segment_start(segment)
+                end = start + self.segment_blocks
+                for address in [
+                    a for a in self._staged_reads if start <= a < end
+                ]:
+                    del self._staged_reads[address]
+
+    def _rebuild_free_heaps(self) -> None:
+        self._free_heaps = [[] for _ in range(self.volume.num_disks)]
+        for segment in self.free_segments:
+            self._free_heaps[self._segment_disk[segment]].append(segment)
+        for heap in self._free_heaps:
+            heapq.heapify(heap)
+
+    def _free_push(self, segment: int) -> None:
+        heapq.heappush(self._free_heaps[self._segment_disk[segment]], segment)
 
     def _pick_free_segment(self) -> int:
         if not self.free_segments:
             raise NoSpaceLeft("no free LFS segments left (cleaner cannot keep up)")
         # Prefer a segment on a different disk from the last one so that
-        # consecutive segment writes can proceed in parallel.  One O(F) pass
-        # tracking the lowest free segment overall and the lowest on another
-        # disk — the same selection the old sorted() scan made, without
-        # sorting the free set on every activation.
-        last = self._last_disk
-        disks = self._segment_disk
+        # consecutive segment writes can proceed in parallel.  Per-disk min
+        # heaps with lazy deletion give the same selection — the lowest free
+        # segment on another disk, else the lowest overall — in
+        # O(disks·log n) instead of an O(F) scan per activation.
+        free = self.free_segments
         best: Optional[int] = None
         other: Optional[int] = None
-        for segment in self.free_segments:
-            if best is None or segment < best:
-                best = segment
-            if disks[segment] != last and (other is None or segment < other):
-                other = segment
+        for disk, heap in enumerate(self._free_heaps):
+            while heap and heap[0] not in free:
+                heapq.heappop(heap)  # stale entry: segment was activated
+            if not heap:
+                continue
+            head = heap[0]
+            if best is None or head < best:
+                best = head
+            if disk != self._last_disk and (other is None or head < other):
+                other = head
         return other if other is not None else best  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ helpers
@@ -556,7 +880,44 @@ class LogStructuredLayout(StorageLayout):
         for offset in range(count):
             segment = self.segment_of(address + offset)
             if 0 <= segment < self.num_segments and self.segment_usage[segment] > 0:
-                self.segment_usage[segment] -= 1
+                usage = self.segment_usage[segment] - 1
+                self.segment_usage[segment] = usage
+                self._live_total -= 1
+                if self._index_on:
+                    index = self._indexes.get(segment)
+                    if index is not None:
+                        index.kill()
+                    # O(1): no-op unless the segment crosses a bucket edge.
+                    self._buckets.update(segment, usage, self.segment_blocks - 1)
+
+    # ------------------------------------------------------------------ index probes
+
+    def may_contain_inode(self, inode_number: int) -> bool:
+        """O(1) probe: can this log possibly hold ``inode_number``?
+
+        ``False`` is authoritative (the inode never hit this log); ``True``
+        is advisory.  Replication's shadow-inode synthesis uses this to skip
+        doomed ``read_inode`` attempts on fail-over.  Always ``True`` while
+        any segment summary is still unloaded or the index is off — a bloom
+        must never produce a false negative."""
+        if inode_number in self.inode_map or inode_number in self._inode_objects:
+            return True
+        if not self._index_on or self._unloaded:
+            return True
+        if self._owner_bloom.may_contain(owner_key(inode_number)):
+            return True
+        self.stats.bloom_skips += 1
+        return False
+
+    def index_memory_bytes(self) -> int:
+        """Approximate in-core footprint of the segment-index machinery."""
+        if not self._index_on:
+            return 0
+        total = self._owner_bloom.memory_bytes
+        for index in self._indexes.values():
+            total += index.memory_bytes
+        total += 48 * len(self._buckets)  # bucket dict + _where entries
+        return total
 
     def _is_synthetic(self, inode_number: int, block_no: int, address: int) -> bool:
         return self._synthetic_addresses.get((inode_number, block_no)) == address
@@ -599,6 +960,7 @@ def _build_lfs_layout(
         segment_blocks=max(layout_config.segment_size // block_size, 4),
         simulated=simulated,
         seed=seed,
+        index_config=layout_config.index_config(),
     )
 
 

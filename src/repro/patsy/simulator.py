@@ -743,16 +743,22 @@ class PatsySimulator:
                     "mean_queue_length": driver.stats.mean_queue_length(),
                     "mean_response_time": driver.stats.mean_response_time(),
                 }
+            layout_entry = {
+                "kind": sub.name,
+                "disk_reads": sub.stats.disk_reads,
+                "disk_writes": sub.stats.disk_writes,
+                "blocks_read": sub.stats.blocks_read,
+                "blocks_written": sub.stats.blocks_written,
+                "free_blocks": sub.free_blocks,
+            }
+            if sub.stats.cleaner_read_runs:
+                layout_entry["cleaner_read_runs"] = sub.stats.cleaner_read_runs
+            index_memory = getattr(sub, "index_memory_bytes", None)
+            if index_memory is not None and index_memory():
+                layout_entry["index_memory_bytes"] = index_memory()
             entry: Dict[str, Any] = {
                 "disks": disks,
-                "layout": {
-                    "kind": sub.name,
-                    "disk_reads": sub.stats.disk_reads,
-                    "disk_writes": sub.stats.disk_writes,
-                    "blocks_read": sub.stats.blocks_read,
-                    "blocks_written": sub.stats.blocks_written,
-                    "free_blocks": sub.free_blocks,
-                },
+                "layout": layout_entry,
             }
             if len(self.cache.shards) == num_volumes:
                 entry["cache"] = self.cache.shards[v].stats.snapshot()
@@ -773,6 +779,16 @@ class PatsySimulator:
             ),
         }
         rollup["layout"] = self.layout.combined_stats()
+        index_total = sum(
+            getattr(sub, "index_memory_bytes", lambda: 0)()
+            for sub in self.layout.sublayouts
+        )
+        if index_total:
+            cache_budget = max(1, spec.cache.size_bytes)
+            rollup["index"] = {
+                "memory_bytes": index_total,
+                "fraction_of_cache": index_total / cache_budget,
+            }
         if isinstance(self.flush_policy, ShardedFlushPolicy):
             rollup["flush"] = self.flush_policy.stats()
             rollup["governor_wakeups"] = self.flush_policy.governor_wakeups

@@ -216,10 +216,13 @@ def test_crash_at_every_step_recovers_byte_identical(nodes, volumes_per_node, pl
     matrix, files, migrated, deleted_path = reference_run(spec)
     assert migrated, "the workload migrated nothing — the matrix is hollow"
     points = {point for point, _ in matrix}
-    # The matrix must cover all three layers of boundaries.
+    # The matrix must cover all four layers of boundaries.
     assert any(p.startswith("migrate.") for p in points)
     assert any(p.startswith("wal.") for p in points)
     assert any(p.startswith("manifest.") for p in points)
+    # LFS summary+index writes: only armed past the first durable
+    # checkpoint (before that floor a crash legitimately loses data).
+    assert any(p.startswith("lfs.index.") for p in points)
     for point, occurrence in matrix[::MATRIX_STRIDE]:
         store, images = crashed_run(spec, point, occurrence)
         stack = remount(spec, store, images)

@@ -1,0 +1,536 @@
+"""The LSM-style LFS segment indexes: blooms, sparse offsets, utilisation
+buckets, lazy mounts, coalesced reads and the index-off equivalence pin.
+
+The property test at the bottom drives a real (byte-moving) index-on layout
+through random write/overwrite/release/clean/checkpoint-remount sequences
+and checks the invariants that make the index safe to consult:
+
+* a segment's bloom never produces a false negative for an entry its
+  summary holds (a negative must be authoritative);
+* every sparse-index sample points at the exact summary offset;
+* the index's live counter equals the segment's usage counter;
+* the utilisation buckets track exactly the sealed non-free segments, each
+  in the bucket its usage dictates;
+* the incremental free-block/free-heap accounting matches a from-scratch
+  recount.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    ArrayConfig,
+    CacheConfig,
+    ClusterConfig,
+    FlushConfig,
+    LayoutConfig,
+)
+from repro.assembly.bindings import OnlineBinding
+from repro.assembly.builder import build_stack
+from repro.assembly.spec import StackSpec
+from repro.core import codec
+from repro.core.blocks import CacheBlock
+from repro.core.clock import VirtualClock
+from repro.core.inode import FileKind
+from repro.core.scheduler import Scheduler
+from repro.core.storage.lfs import LogStructuredLayout
+from repro.core.storage.segindex import (
+    BloomFilter,
+    SegmentIndex,
+    SegmentIndexConfig,
+    UtilisationBuckets,
+    entry_key,
+    owner_key,
+)
+from repro.core.storage.volume import LocalVolume
+from repro.errors import ConfigurationError
+from repro.pfs.diskfile import MemoryBackedDiskDriver
+from repro.units import KB, MB
+from tests.conftest import run
+
+INDEX = SegmentIndexConfig()
+
+
+def make_layout(
+    scheduler,
+    simulated=False,
+    disk_mb=8,
+    segment_blocks=8,
+    disks=1,
+    index_config=INDEX,
+):
+    drivers = [
+        MemoryBackedDiskDriver(scheduler, size_bytes=disk_mb * MB, name=f"d{i}")
+        for i in range(disks)
+    ]
+    volume = LocalVolume(drivers, block_size=4 * KB)
+    layout = LogStructuredLayout(
+        scheduler,
+        volume,
+        block_size=4 * KB,
+        segment_blocks=segment_blocks,
+        simulated=simulated,
+        index_config=index_config,
+    )
+    run(scheduler, layout.format)
+    run(scheduler, layout.mount)
+    return layout
+
+
+def data_block(payload=b""):
+    block = CacheBlock(0, 4 * KB, with_data=True)
+    if payload:
+        block.data[: len(payload)] = payload
+    return block
+
+
+# --------------------------------------------------------------------------- units
+
+
+def test_bloom_has_no_false_negatives():
+    bloom = BloomFilter(256)
+    keys = [entry_key(i, i * 3, bool(i & 1)) for i in range(40)]
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.may_contain(key) for key in keys)
+
+
+def test_bloom_rejects_most_absent_keys():
+    bloom = BloomFilter(8 * 64)
+    for i in range(32):
+        bloom.add(owner_key(i))
+    misses = sum(not bloom.may_contain(owner_key(i)) for i in range(1000, 2000))
+    assert misses > 900  # ~8 bits/key, 4 hashes: fp-rate ~2-3%
+
+
+def test_bloom_bytes_round_trip():
+    bloom = BloomFilter(200, num_hashes=3)
+    for i in range(25):
+        bloom.add(entry_key(i, i, False))
+    clone = BloomFilter.from_bytes(bloom.to_bytes(), bloom.num_bits, bloom.num_hashes)
+    assert clone.bits == bloom.bits
+    assert all(clone.may_contain(entry_key(i, i, False)) for i in range(25))
+
+
+def test_segment_index_counters_and_sparse_samples():
+    index = SegmentIndex(SegmentIndexConfig(sparse_every=2), capacity=15)
+    for offset in range(1, 11):
+        index.add(owner=7, logical_block=offset - 1, is_inode=False, offset=offset)
+    assert index.entries == 10 and index.live == 10 and index.dead == 0
+    # Entries 0, 2, 4, ... were sampled; each points at its exact offset.
+    assert index.find(7, 0) == 1
+    assert index.find(7, 2) == 3
+    assert index.find(7, 1) is None  # unsampled, not absent
+    assert index.may_contain(7, 1)
+    assert index.may_contain_owner(7)
+    for _ in range(4):
+        index.kill()
+    assert index.live == 6 and index.dead == 4
+    assert index.utilisation == 6 / 15
+
+
+def test_segment_index_rebuild_matches_incremental():
+    entries = [(3, i, False) for i in range(6)] + [(4, 0, True)]
+    incremental = SegmentIndex(INDEX, capacity=15)
+    for offset, (owner, logical, is_inode) in enumerate(entries, start=1):
+        incremental.add(owner, logical, is_inode, offset)
+    rebuilt = SegmentIndex.rebuild(INDEX, 15, entries, live=5)
+    assert rebuilt.bloom.bits == incremental.bloom.bits
+    assert rebuilt.sparse == incremental.sparse
+    assert rebuilt.entries == 7 and rebuilt.live == 5 and rebuilt.dead == 2
+
+
+def test_utilisation_buckets_track_and_order():
+    buckets = UtilisationBuckets(num_buckets=4)
+    buckets.insert(0, live=0, capacity=8)   # bucket 0
+    buckets.insert(1, live=7, capacity=8)   # bucket 3
+    buckets.insert(2, live=3, capacity=8)   # bucket 1
+    assert list(buckets.candidates(limit=2)) == [0, 2]
+    assert list(buckets.candidates(limit=0)) == [0, 2, 1]
+    buckets.update(1, live=1, capacity=8)   # 3 -> 0
+    assert list(buckets.candidates(limit=3)) == [0, 1, 2]
+    buckets.update(99, live=0, capacity=8)  # untracked: no-op
+    buckets.remove(0)
+    assert 0 not in buckets and len(buckets) == 2
+
+
+def test_index_config_validation():
+    with pytest.raises(ConfigurationError):
+        SegmentIndexConfig(sparse_every=0)
+    with pytest.raises(ConfigurationError):
+        SegmentIndexConfig(bloom_bits=0)
+    with pytest.raises(ConfigurationError):
+        LayoutConfig(index_sparse_every=0)
+    assert LayoutConfig(segment_index=False).index_config() is None
+    cfg = LayoutConfig(cleaner_candidates=9).index_config()
+    assert cfg is not None and cfg.cleaner_candidates == 9
+
+
+# --------------------------------------------------------------------------- codec
+
+
+def test_codec_segment_index_round_trip():
+    index = SegmentIndex(INDEX, capacity=15)
+    for offset in range(1, 9):
+        index.add(5, offset - 1, False, offset)
+    index.kill()
+    packed = codec.pack_segment_index(
+        index.entries, index.live, index.dead,
+        index.bloom.num_bits, index.bloom.num_hashes, index.bloom.to_bytes(),
+        INDEX.sparse_every, index.sparse,
+    )
+    decoded = codec.unpack_segment_index(packed)
+    assert decoded is not None
+    assert decoded["entries"] == 8 and decoded["live"] == 7 and decoded["dead"] == 1
+    assert decoded["sparse_every"] == INDEX.sparse_every
+    assert dict(decoded["sparse"]) == index.sparse
+    clone = BloomFilter.from_bytes(
+        decoded["bloom_bytes"], decoded["bloom_bits"], decoded["bloom_hashes"]
+    )
+    assert clone.bits == index.bloom.bits
+
+
+def test_codec_index_absent_or_torn_returns_none():
+    entries = [(1, 0, False), (1, 1, False)]
+    summary = codec.pack_segment_summary(entries)
+    # A legacy summary block carries no index section.
+    assert codec.unpack_segment_index(summary, len(summary)) is None
+    assert codec.unpack_segment_index(summary + bytes(64), len(summary)) is None
+    index = SegmentIndex(INDEX, capacity=7)
+    index.add(1, 0, False, 1)
+    packed = codec.pack_segment_index(
+        1, 1, 0, index.bloom.num_bits, index.bloom.num_hashes,
+        index.bloom.to_bytes(), INDEX.sparse_every, index.sparse,
+    )
+    # Truncated mid-section: treated as absent, never an exception.
+    assert codec.unpack_segment_index(packed[: len(packed) - 3]) is None
+    # The summary decoder ignores a trailing index section.
+    assert codec.unpack_segment_summary(summary + packed) == entries
+
+
+# --------------------------------------------------------------------------- layout integration
+
+
+def _write_file(scheduler, layout, blocks, payload_base=0):
+    inode = layout.allocate_inode(FileKind.REGULAR)
+    pairs = [
+        (i, data_block(bytes([(payload_base + i) % 251]) * 32)) for i in range(blocks)
+    ]
+    run(scheduler, layout.write_file_blocks, inode, pairs)
+    run(scheduler, layout.write_inode, inode)
+    return inode
+
+
+def test_lazy_mount_defers_summary_reads(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    for i in range(6):
+        _write_file(scheduler, layout, blocks=5, payload_base=i)
+    run(scheduler, layout.checkpoint)
+    non_free = layout.num_segments - layout.free_segment_count
+
+    remounted = LogStructuredLayout(
+        scheduler, layout.volume, block_size=4 * KB, segment_blocks=8,
+        index_config=INDEX,
+    )
+    run(scheduler, remounted.mount)
+    # Mount reads the superblock and the checkpoint run — not one summary
+    # block per non-free segment.
+    assert non_free > 2
+    assert remounted.stats.disk_reads == 2
+    assert remounted.stats.lazy_summary_loads == 0
+    assert len(remounted._unloaded) >= non_free - 1  # minus the new active
+
+    # The first cleaner touch loads exactly that segment's summary (and its
+    # persisted index, so nothing is rebuilt from entries).
+    victim = remounted.cleaner_candidates()[0].index
+    run(scheduler, remounted.clean_segment, victim)
+    assert remounted.stats.lazy_summary_loads >= 1
+    assert remounted.stats.index_reads >= 1
+
+    # Index-off mounts still pay the full sweep (the pre-index behaviour).
+    legacy = LogStructuredLayout(
+        scheduler, layout.volume, block_size=4 * KB, segment_blocks=8,
+    )
+    run(scheduler, legacy.mount)
+    assert legacy.stats.disk_reads >= 2 + non_free - 1
+
+
+def test_cleaner_candidates_bounded_and_contain_greedy_choice(scheduler):
+    layout = make_layout(
+        scheduler,
+        segment_blocks=8,
+        index_config=SegmentIndexConfig(cleaner_candidates=4),
+    )
+    inodes = [_write_file(scheduler, layout, blocks=6, payload_base=i) for i in range(5)]
+    # Kill most blocks of the first files to spread utilisation.
+    for inode in inodes[:3]:
+        run(scheduler, layout.release_blocks, inode, 1)
+    candidates = layout.cleaner_candidates()
+    full = layout.segment_infos()
+    assert 0 < len(candidates) <= 4
+    best = min(full, key=lambda info: (info.utilisation, info.index))
+    assert best.index in {info.index for info in candidates}
+    assert layout.stats.cleaner_candidate_scans == 1
+    assert layout.stats.cleaner_candidates_considered == len(candidates)
+
+
+def test_clean_segment_coalesces_reads_and_preserves_bytes(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = _write_file(scheduler, layout, blocks=12, payload_base=3)
+    victim = layout.segment_of(inode.get_block_address(0))
+    live_before = layout.segment_usage[victim]
+    reads_before = layout.stats.disk_reads
+    runs_before = layout.stats.cleaner_read_runs
+    copied, _ = run(scheduler, layout.clean_segment, victim)
+    assert copied > 1
+    # Contiguous live blocks were fetched in runs, not one read per block.
+    runs = layout.stats.cleaner_read_runs - runs_before
+    assert 0 < runs < live_before
+    assert layout.stats.disk_reads - reads_before < live_before + 4
+    # The copied-forward bytes still read back intact.
+    for i in range(12):
+        block = data_block()
+        assert run(scheduler, layout.read_file_block, inode, i, block)
+        assert bytes(block.data[:32]) == bytes([(3 + i) % 251]) * 32
+
+
+def test_cold_reads_coalesce_into_runs(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = _write_file(scheduler, layout, blocks=10, payload_base=1)
+    reads_before = layout.stats.disk_reads
+    for i in range(10):
+        block = data_block()
+        assert run(scheduler, layout.read_file_block, inode, i, block)
+        assert bytes(block.data[:32]) == bytes([(1 + i) % 251]) * 32
+    assert layout.stats.cold_read_runs > 0
+    assert layout.stats.coalesced_read_hits == layout.stats.cold_read_blocks_coalesced
+    assert layout.stats.coalesced_read_hits > 0
+    # Strictly fewer disk reads than blocks.
+    assert layout.stats.disk_reads - reads_before == 10 - layout.stats.coalesced_read_hits
+
+    # Index off: the original one-read-per-block path, byte-identical data.
+    legacy = make_layout(scheduler, segment_blocks=8, index_config=None)
+    legacy_inode = _write_file(scheduler, legacy, blocks=10, payload_base=1)
+    reads_before = legacy.stats.disk_reads
+    for i in range(10):
+        block = data_block()
+        assert run(scheduler, legacy.read_file_block, legacy_inode, i, block)
+        assert bytes(block.data[:32]) == bytes([(1 + i) % 251]) * 32
+    assert legacy.stats.disk_reads - reads_before == 10
+    assert legacy.stats.cold_read_runs == 0
+
+
+def test_overwritten_block_is_never_served_stale_from_staging(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = _write_file(scheduler, layout, blocks=4, payload_base=0)
+    # Reading block 0 stages blocks 1..3 of the run.
+    block = data_block()
+    run(scheduler, layout.read_file_block, inode, 0, block)
+    # Overwrite block 1: its address moves to the log head, so the staged
+    # copy of the old address must not be consulted.
+    run(scheduler, layout.write_file_blocks, inode, [(1, data_block(b"fresh!"))])
+    block = data_block()
+    run(scheduler, layout.read_file_block, inode, 1, block)
+    assert bytes(block.data[:6]) == b"fresh!"
+
+
+def test_may_contain_inode_probe(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inode = _write_file(scheduler, layout, blocks=2)
+    assert layout.may_contain_inode(inode.number)
+    absent = sum(not layout.may_contain_inode(n) for n in range(50_000, 50_200))
+    assert absent > 150  # blooms: almost all unknown inodes are rejected
+    assert layout.stats.bloom_skips == absent
+    # Index off: the probe always says maybe.
+    legacy = make_layout(scheduler, segment_blocks=8, index_config=None)
+    assert legacy.may_contain_inode(123_456)
+
+
+def test_pick_free_segment_matches_reference_scan(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8, disks=3, disk_mb=2)
+
+    def reference(last_disk):
+        free = layout.free_segments
+        disks = layout._segment_disk
+        best = min(free)
+        other = [s for s in free if disks[s] != last_disk]
+        return min(other) if other else best
+
+    rng_segments = sorted(layout.free_segments)[:12]
+    for segment in rng_segments:
+        expected = reference(layout._last_disk)
+        assert layout._pick_free_segment() == expected
+        layout._activate_segment(expected)
+    # Freeing pushes back into the heaps.
+    freed = rng_segments[0]
+    layout.free_segments.add(freed)
+    layout._free_push(freed)
+    assert layout._pick_free_segment() == reference(layout._last_disk)
+
+
+def test_free_blocks_matches_recount(scheduler):
+    layout = make_layout(scheduler, segment_blocks=8)
+    inodes = [_write_file(scheduler, layout, blocks=4, payload_base=i) for i in range(4)]
+    run(scheduler, layout.release_blocks, inodes[0], 0)
+    per_segment = layout.segment_blocks - 1
+    live = sum(layout.segment_usage[s] for s in range(layout.num_segments))
+    recount = layout.free_segment_count * per_segment + max(
+        0, (layout.num_segments - layout.free_segment_count) * per_segment - live
+    )
+    assert layout.free_blocks == recount
+    assert layout._live_total == live
+
+
+# --------------------------------------------------------------------------- stack equivalence
+
+
+def _stack_spec(nodes=None, segment_index=True):
+    layout = LayoutConfig(segment_size=16 * 4 * KB, segment_index=segment_index)
+    return StackSpec(
+        cache=CacheConfig(size_bytes=64 * 4 * KB),
+        flush=FlushConfig(policy="periodic"),
+        layout=layout,
+        array=ArrayConfig(volumes=1, buses=1, disks_per_bus=1),
+        cluster=ClusterConfig(nodes=nodes, rebalance=False) if nodes else None,
+        seed=11,
+    )
+
+
+def _drive_and_read(spec, nodes):
+    stack = build_stack(spec, OnlineBinding(size_bytes=16 * MB * max(nodes, 1)))
+    scheduler, client = stack.scheduler, stack.client
+    run(scheduler, stack.fs.mount, True)
+    payloads = {}
+
+    def body():
+        for i in range(8):
+            path = f"/file{i}"
+            data = bytes((i * 41 + j) % 256 for j in range(10 * KB))
+            handle = yield from client.create(path)
+            yield from client.write(handle, 0, data)
+            yield from client.fsync(handle)
+            yield from client.close(handle)
+            payloads[path] = data
+        # Overwrite half of an early file, then read everything back cold.
+        handle = yield from client.open("/file0")
+        rewrite = bytes(255 - b for b in payloads["/file0"][: 5 * KB])
+        yield from client.write(handle, 0, rewrite)
+        yield from client.fsync(handle)
+        yield from client.close(handle)
+        payloads["/file0"] = rewrite + payloads["/file0"][5 * KB :]
+        yield from stack.fs.sync()
+
+    run(scheduler, body)
+    for path in payloads:
+        file = run(scheduler, client.lookup, path)
+        stack.cache.invalidate_file(file.file_id)
+    contents = {
+        path: run(scheduler, client.read_file, path, 0, len(payloads[path]))
+        for path in payloads
+    }
+    assert contents == payloads  # each world is self-consistent
+    return contents
+
+
+@pytest.mark.parametrize("nodes", [1, 4])
+def test_index_on_and_off_read_back_identical_bytes(nodes):
+    on = _drive_and_read(_stack_spec(nodes=nodes, segment_index=True), nodes)
+    off = _drive_and_read(_stack_spec(nodes=nodes, segment_index=False), nodes)
+    assert on == off
+
+
+# --------------------------------------------------------------------------- the property test
+
+
+@st.composite
+def workload_steps(draw):
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("write"), st.integers(0, 5), st.integers(1, 6)),
+                st.tuples(st.just("release"), st.integers(0, 5), st.integers(0, 2)),
+                st.tuples(st.just("clean"), st.integers(0, 63), st.just(0)),
+                st.tuples(st.just("checkpoint"), st.just(0), st.just(0)),
+                st.tuples(st.just("remount"), st.just(0), st.just(0)),
+            ),
+            min_size=4,
+            max_size=24,
+        )
+    )
+
+
+def _check_invariants(layout):
+    capacity = layout.segment_blocks - 1
+    for segment, entries in layout.segment_summaries.items():
+        index = layout._indexes.get(segment)
+        if index is None:
+            continue
+        for offset, (owner, logical, is_inode) in enumerate(entries, start=1):
+            # Blooms: never a false negative.
+            assert index.may_contain(owner, logical, is_inode)
+            assert index.may_contain_owner(owner)
+            found = index.find(owner, logical, is_inode)
+            if found is not None and (owner, logical, is_inode) not in entries[offset:]:
+                # A sparse sample points at the entry's last occurrence.
+                assert entries[found - 1] == (owner, logical, is_inode)
+        assert index.entries == len(entries)
+        if segment != layout._active_segment:
+            assert index.live == layout.segment_usage[segment]
+    # Buckets: exactly the sealed, loaded-or-not, non-free segments.
+    tracked = set(layout._buckets._where)
+    expected = {
+        s
+        for s in range(layout.num_segments)
+        if s not in layout.free_segments and s != layout._active_segment
+    }
+    assert tracked == expected
+    for segment in tracked:
+        assert layout._buckets._where[segment] == layout._buckets.bucket_of(
+            layout.segment_usage[segment], capacity
+        )
+    # Incremental free accounting matches a recount.
+    assert layout._live_total == sum(layout.segment_usage.values())
+    heap_members = {s for heap in layout._free_heaps for s in heap}
+    assert layout.free_segments <= heap_members  # heaps may hold stale extras
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(steps=workload_steps())
+def test_index_invariants_hold_over_random_histories(steps):
+    scheduler = Scheduler(clock=VirtualClock(), seed=7)
+    layout = make_layout(scheduler, segment_blocks=8, disk_mb=4)
+    inodes = {}
+    for op, a, b in steps:
+        if op == "write":
+            if a not in inodes:
+                inodes[a] = layout.allocate_inode(FileKind.REGULAR)
+            inode = inodes[a]
+            pairs = [(b + i, data_block(bytes([a + 1]) * 16)) for i in range(b)]
+            if pairs:
+                run(scheduler, layout.write_file_blocks, inode, pairs)
+                run(scheduler, layout.write_inode, inode)
+        elif op == "release" and a in inodes:
+            run(scheduler, layout.release_blocks, inodes[a], b)
+            run(scheduler, layout.write_inode, inodes[a])
+        elif op == "clean":
+            candidates = layout.cleaner_candidates()
+            if candidates:
+                victim = candidates[a % len(candidates)]
+                run(scheduler, layout.clean_segment, victim.index)
+        elif op == "checkpoint":
+            run(scheduler, layout.checkpoint)
+        elif op == "remount":
+            run(scheduler, layout.checkpoint)
+            layout = LogStructuredLayout(
+                scheduler,
+                layout.volume,
+                block_size=4 * KB,
+                segment_blocks=8,
+                index_config=INDEX,
+            )
+            run(scheduler, layout.mount)
+            inodes = {}  # in-core handles died with the old incarnation
+        _check_invariants(layout)
